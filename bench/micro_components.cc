@@ -1,0 +1,159 @@
+// Google-benchmark micro benchmarks for the performance-critical
+// components, including the constraint-embedding claim of Sec. IV-C: by
+// excluding infeasible vehicles *before* network inference, the Q-network
+// forward pass scales with the feasible sub-fleet rather than the full
+// fleet (BM_GraphQForward sweeps the sub-fleet size).
+
+#include <benchmark/benchmark.h>
+
+#include "core/dpdp.h"
+
+namespace {
+
+dpdp::Instance MakeBenchInstance(int num_orders, int num_vehicles) {
+  static dpdp::DpdpDataset* dataset = new dpdp::DpdpDataset(
+      dpdp::StandardDatasetConfig(7, 620.0));
+  return dataset->SampleInstance("bench", num_orders, num_vehicles, 0, 0,
+                                 99);
+}
+
+// ----------------------------------------------------- route planner ----
+
+void BM_BestInsertion(benchmark::State& state) {
+  const int route_orders = static_cast<int>(state.range(0));
+  const dpdp::Instance inst = MakeBenchInstance(route_orders + 1, 5);
+  dpdp::RoutePlanner planner(&inst);
+  const dpdp::PlanAnchor anchor{inst.vehicle_depots[0], 0.0, {}};
+
+  // Build an existing route with `route_orders` orders.
+  std::vector<dpdp::Stop> route;
+  for (int i = 0; i < route_orders; ++i) {
+    auto r = planner.BestInsertion(anchor, route, inst.vehicle_depots[0],
+                                   inst.order(i));
+    if (r.ok()) route = std::move(r).value().suffix;
+  }
+  const dpdp::Order& next = inst.order(route_orders);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        planner.BestInsertion(anchor, route, inst.vehicle_depots[0], next));
+  }
+  state.SetLabel(std::to_string(route.size()) + " stops");
+}
+BENCHMARK(BM_BestInsertion)->Arg(2)->Arg(6)->Arg(12)->Arg(20);
+
+// --------------------------------------------------------- attention ----
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int fleet = static_cast<int>(state.range(0));
+  dpdp::Rng rng(1);
+  dpdp::nn::MultiHeadSelfAttention attn(32, 2, &rng);
+  dpdp::nn::Matrix x(fleet, 32);
+  for (int r = 0; r < fleet; ++r) {
+    for (int c = 0; c < 32; ++c) x(r, c) = rng.Normal();
+  }
+  dpdp::nn::Matrix pos(fleet, 2);
+  for (int r = 0; r < fleet; ++r) {
+    pos(r, 0) = rng.Uniform(0, 8);
+    pos(r, 1) = rng.Uniform(0, 8);
+  }
+  const dpdp::nn::Matrix adj = dpdp::BuildNeighborAdjacency(pos, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x, adj));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(10)->Arg(50)->Arg(150);
+
+void BM_AttentionBackward(benchmark::State& state) {
+  const int fleet = static_cast<int>(state.range(0));
+  dpdp::Rng rng(2);
+  dpdp::nn::MultiHeadSelfAttention attn(32, 2, &rng);
+  dpdp::nn::Matrix x(fleet, 32);
+  dpdp::nn::Matrix dy(fleet, 32);
+  for (int r = 0; r < fleet; ++r) {
+    for (int c = 0; c < 32; ++c) {
+      x(r, c) = rng.Normal();
+      dy(r, c) = rng.Normal();
+    }
+  }
+  const dpdp::nn::Matrix adj =
+      dpdp::nn::Matrix(fleet, fleet, 0.0).Add(dpdp::nn::Matrix::Identity(fleet));
+  for (auto _ : state) {
+    attn.Forward(x, adj);
+    attn.Backward(dy);
+  }
+}
+BENCHMARK(BM_AttentionBackward)->Arg(10)->Arg(50);
+
+// ------------------------------------- constraint embedding (Sec IV-C) ----
+
+// Inference cost scales with the *feasible* sub-fleet: the route planner
+// excludes infeasible vehicles before the network runs. Sweeping the
+// sub-fleet size shows the savings vs always scoring all 150 vehicles.
+void BM_GraphQForward(benchmark::State& state) {
+  const int feasible = static_cast<int>(state.range(0));
+  dpdp::Rng rng(3);
+  dpdp::AgentConfig config = dpdp::MakeStDdgnConfig(1);
+  dpdp::GraphQNetwork net(config, &rng);
+  dpdp::nn::Matrix features(feasible, dpdp::kStateFeatures);
+  dpdp::nn::Matrix pos(feasible, 2);
+  for (int r = 0; r < feasible; ++r) {
+    for (int c = 0; c < dpdp::kStateFeatures; ++c) {
+      features(r, c) = rng.Uniform();
+    }
+    pos(r, 0) = rng.Uniform(0, 8);
+    pos(r, 1) = rng.Uniform(0, 8);
+  }
+  const dpdp::nn::Matrix adj =
+      dpdp::BuildNeighborAdjacency(pos, config.num_neighbors);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(features, adj));
+  }
+  state.SetLabel("feasible sub-fleet of " + std::to_string(feasible) +
+                 " (full fleet = 150)");
+}
+BENCHMARK(BM_GraphQForward)->Arg(10)->Arg(30)->Arg(75)->Arg(150);
+
+// ----------------------------------------------------------- ST score ----
+
+void BM_StScore(benchmark::State& state) {
+  const dpdp::Instance inst = MakeBenchInstance(8, 5);
+  dpdp::RoutePlanner planner(&inst);
+  const dpdp::PlanAnchor anchor{inst.vehicle_depots[0], 0.0, {}};
+  std::vector<dpdp::Stop> route;
+  for (int i = 0; i < 8; ++i) {
+    auto r = planner.BestInsertion(anchor, route, inst.vehicle_depots[0],
+                                   inst.order(i));
+    if (r.ok()) route = std::move(r).value().suffix;
+  }
+  const auto sched =
+      planner.CheckSuffix(anchor, route, inst.vehicle_depots[0]);
+  const dpdp::nn::Matrix std_matrix(inst.network->num_factories(),
+                                    inst.num_time_intervals, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpdp::ComputeStScore(
+        *inst.network, route, sched.value(), std_matrix,
+        inst.num_time_intervals, inst.horizon_minutes));
+  }
+}
+BENCHMARK(BM_StScore);
+
+// ------------------------------------------------------ episode loop ----
+
+void BM_SimulatorEpisodeBaseline1(benchmark::State& state) {
+  const int orders = static_cast<int>(state.range(0));
+  const dpdp::Instance inst = MakeBenchInstance(orders, orders / 3 + 2);
+  dpdp::SimulatorConfig config;
+  config.record_visits = false;
+  dpdp::Simulator sim(&inst, config);
+  dpdp::MinIncrementalLengthDispatcher baseline;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunEpisode(&baseline));
+  }
+  state.SetItemsProcessed(state.iterations() * orders);
+}
+BENCHMARK(BM_SimulatorEpisodeBaseline1)->Arg(30)->Arg(150)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

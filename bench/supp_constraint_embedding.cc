@@ -1,0 +1,92 @@
+// Quantifies the constraint-embedding claim of Sec. IV-C: excluding
+// infeasible vehicles *before* network inference (the paper's design)
+// versus contextual-DQN-style output masking, which runs the network over
+// the whole fleet and masks afterwards. Same feasible action set; the
+// difference is pure inference wall time, growing with the share of
+// infeasible vehicles — hence the default scenario loads a small fleet
+// (600 orders on 40 vehicles) so routes saturate and much of the fleet
+// turns infeasible as the day progresses.
+//
+// Env knobs: DPDP_ORDERS, DPDP_VEHICLES, DPDP_EPISODES, DPDP_FAST.
+
+#include <cstdio>
+
+#include "core/dpdp.h"
+
+int main() {
+  const int num_orders = dpdp::EnvInt("DPDP_ORDERS", 600);
+  const int num_vehicles = dpdp::EnvInt("DPDP_VEHICLES", 40);
+  const int episodes =
+      dpdp::EnvInt("DPDP_EPISODES", dpdp::FastMode() ? 2 : 4);
+
+  dpdp::DpdpDataset dataset(dpdp::StandardDatasetConfig(
+      /*seed=*/7, static_cast<double>(num_orders)));
+  const dpdp::Instance inst = dataset.FullDayInstance("ce", 33,
+                                                      num_vehicles);
+  dpdp::AverageStdPredictor predictor;
+  const dpdp::nn::Matrix predicted =
+      predictor.Predict(dataset.History(33, 4)).value();
+
+  std::printf("=== Sec. IV-C: constraint embedding vs full-fleet masking "
+              "===\n");
+  std::printf("(%d orders, %d vehicles, ST-DDGN inference; %d evaluation "
+              "episodes each)\n\n",
+              inst.num_orders(), inst.num_vehicles(), episodes);
+
+  // Wrapper that also tracks the mean feasible-fleet share per decision.
+  class FeasibilityMeter : public dpdp::Dispatcher {
+   public:
+    explicit FeasibilityMeter(dpdp::Dispatcher* base) : base_(base) {}
+    const char* name() const override { return base_->name(); }
+    int ChooseVehicle(const dpdp::DispatchContext& ctx) override {
+      feasible_sum += ctx.num_feasible;
+      fleet_sum += static_cast<int>(ctx.options.size());
+      return base_->ChooseVehicle(ctx);
+    }
+    void OnEpisodeEnd(const dpdp::EpisodeResult& r) override {
+      base_->OnEpisodeEnd(r);
+    }
+    long long feasible_sum = 0;
+    long long fleet_sum = 0;
+   private:
+    dpdp::Dispatcher* base_;
+  };
+
+  dpdp::TextTable table({"inference mode", "feasible share",
+                         "decision wall s/episode", "ms per order", "NUV",
+                         "TC"});
+  for (const bool embedding : {true, false}) {
+    dpdp::AgentConfig config = dpdp::MakeStDdgnConfig(5);
+    config.use_constraint_embedding = embedding;
+    dpdp::DqnFleetAgent agent(config,
+                              embedding ? "embedding" : "masking");
+    FeasibilityMeter meter(&agent);
+    dpdp::SimulatorConfig sim_config;
+    sim_config.predicted_std = predicted;
+    sim_config.record_visits = false;
+    dpdp::Simulator sim(&inst, sim_config);
+    double wall = 0.0;
+    dpdp::EpisodeResult last;
+    for (int e = 0; e < episodes; ++e) {
+      last = sim.RunEpisode(&meter);
+      wall += last.decision_wall_seconds;
+    }
+    table.AddRow(
+        {embedding ? "constraint embedding (paper)" : "full-fleet masking",
+         dpdp::TextTable::Num(
+             static_cast<double>(meter.feasible_sum) /
+                 std::max(1LL, meter.fleet_sum),
+             2),
+         dpdp::TextTable::Num(wall / episodes, 3),
+         dpdp::TextTable::Num(1e3 * wall / episodes /
+                                  std::max(1, last.num_served),
+                              3),
+         dpdp::TextTable::Num(last.nuv, 0),
+         dpdp::TextTable::Num(last.total_cost)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("shape: embedding inference is faster whenever part of the "
+              "fleet is infeasible,\nand the gap widens as routes fill up "
+              "late in the day.\n");
+  return 0;
+}

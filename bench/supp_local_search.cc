@@ -1,0 +1,79 @@
+// Ablation from the related-work hybridization (Mitrovic-Minic & Laporte):
+// per-decision reinsertion local search on top of the insertion policies.
+// Quantifies how many kilometres route improvement recovers for the UAT
+// heuristic (baseline 1) and for a trained ST-DDGN, and its planning-time
+// cost.
+//
+// Env knobs: DPDP_ORDERS, DPDP_VEHICLES, DPDP_EPISODES, DPDP_FAST.
+
+#include <cstdio>
+
+#include "core/dpdp.h"
+
+int main() {
+  const int num_orders = dpdp::EnvInt("DPDP_ORDERS", 150);
+  const int num_vehicles = dpdp::EnvInt("DPDP_VEHICLES", 50);
+  const int episodes =
+      dpdp::EnvInt("DPDP_EPISODES", dpdp::FastMode() ? 10 : 120);
+
+  dpdp::DpdpDataset dataset(dpdp::StandardDatasetConfig(
+      /*seed=*/7, static_cast<double>(num_orders)));
+  const dpdp::Instance inst =
+      dataset.SampleInstance("ls", num_orders, num_vehicles, 0, 9, 42);
+  dpdp::AverageStdPredictor predictor;
+  const dpdp::nn::Matrix predicted =
+      predictor.Predict(dataset.History(10, 4)).value();
+
+  std::printf("=== Ablation: per-decision reinsertion local search ===\n");
+  std::printf("(%d orders, %d vehicles)\n\n", inst.num_orders(),
+              inst.num_vehicles());
+
+  dpdp::TextTable table({"policy", "local search", "NUV", "TC",
+                         "km saved", "wall s"});
+
+  auto run = [&](const char* label, dpdp::Dispatcher* d, int passes) {
+    dpdp::SimulatorConfig config;
+    config.predicted_std = predicted;
+    config.record_visits = false;
+    config.local_search_passes = passes;
+    dpdp::Simulator sim(&inst, config);
+    dpdp::WallTimer timer;
+    const dpdp::EpisodeResult r = sim.RunEpisode(d);
+    table.AddRow({label, passes > 0 ? "yes" : "no",
+                  dpdp::TextTable::Num(r.nuv, 0),
+                  dpdp::TextTable::Num(r.total_cost),
+                  dpdp::TextTable::Num(r.local_search_km_saved, 1),
+                  dpdp::TextTable::Num(timer.ElapsedSeconds(), 2)});
+  };
+
+  dpdp::MinIncrementalLengthDispatcher b1a;
+  dpdp::MinIncrementalLengthDispatcher b1b;
+  run("baseline1", &b1a, 0);
+  run("baseline1", &b1b, 3);
+
+  auto agent = dpdp::MakeAgentByName("ST-DDGN", 1);
+  {
+    dpdp::SimulatorConfig config;
+    config.predicted_std = predicted;
+    config.record_visits = false;
+    dpdp::Simulator sim(&inst, config);
+    dpdp::WallTimer timer;
+    agent->set_training(true);
+    dpdp::TrainOptions options;
+    options.episodes = episodes;
+    dpdp::RunEpisodes(&sim, agent.get(), options);
+    agent->set_training(false);
+    agent->FinalizeTraining();
+    std::printf("trained ST-DDGN (%d episodes, %.0fs)\n\n", episodes,
+                timer.ElapsedSeconds());
+  }
+  run("ST-DDGN", agent.get(), 0);
+  run("ST-DDGN", agent.get(), 3);
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("note: 'km saved' counts per-decision planned-route savings;"
+              "\nonline interaction means shorter tentative suffixes do not"
+              "\nnecessarily compose into a lower end-of-day TC — the same"
+              "\nmyopia the paper attributes to pure insertion heuristics.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef DPDP_CORE_DPDP_H_
+#define DPDP_CORE_DPDP_H_
+
+/// \file
+/// Umbrella header: the public API of the DPDP / ST-DDGN library.
+///
+/// Quickstart (see examples/quickstart.cc for a runnable version):
+///
+///   dpdp::DpdpDataset dataset(dpdp::StandardDatasetConfig(7, 150.0));
+///   dpdp::Instance inst =
+///       dataset.SampleInstance("demo", 150, 50, 0, 9, 42);
+///   dpdp::AverageStdPredictor predictor;
+///   dpdp::nn::Matrix std_pred =
+///       predictor.Predict(dataset.History(10, 4)).value();
+///   dpdp::DrlOutcome out =
+///       dpdp::TrainEvalOnInstance(inst, std_pred, "ST-DDGN", 1, 80);
+///
+/// Layering (each header is independently includable):
+///   util/    Status / Result, RNG, stats, tables
+///   nn/      matrices, layers, attention, optimizers
+///   net/     the campus road network
+///   model/   orders, vehicles, instances
+///   routing/ the insertion route planner (Algorithm 2)
+///   stpred/  STD matrices, demand prediction, ST Score
+///   datagen/ synthetic campus + order-stream generation
+///   sim/     the dispatching simulator (Algorithm 1)
+///   baselines/ greedy dispatch heuristics (Baselines 1-3)
+///   rl/      DQN/DDQN/AC/DGN/ST-DDGN agents (Algorithm 3)
+///   exact/   branch-and-bound optimal PDP solver
+///   exp/     experiment harness shared by the bench binaries
+
+#include "baselines/greedy_baselines.h"
+#include "datagen/campus.h"
+#include "datagen/dataset.h"
+#include "datagen/demand_model.h"
+#include "datagen/order_gen.h"
+#include "exact/bnb_solver.h"
+#include "exp/harness.h"
+#include "model/instance.h"
+#include "model/instance_io.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "net/road_network.h"
+#include "nn/matrix.h"
+#include "rl/actor_critic.h"
+#include "rl/config.h"
+#include "rl/dqn_agent.h"
+#include "rl/trainer.h"
+#include "routing/local_search.h"
+#include "routing/route_planner.h"
+#include "sim/dispatcher.h"
+#include "sim/simulator.h"
+#include "stpred/divergence.h"
+#include "stpred/predictor.h"
+#include "stpred/st_score.h"
+#include "stpred/std_matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+#endif  // DPDP_CORE_DPDP_H_

@@ -1,0 +1,62 @@
+#include "datagen/campus.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dpdp {
+
+std::shared_ptr<const RoadNetwork> GenerateCampus(const CampusConfig& config) {
+  DPDP_CHECK(config.num_factories > 0);
+  DPDP_CHECK(config.num_depots > 0);
+  DPDP_CHECK(config.num_clusters > 0);
+  DPDP_CHECK(config.extent_km > 0.0);
+
+  Rng rng(config.seed);
+
+  // Cluster centres spread over the campus square.
+  std::vector<std::pair<double, double>> centres;
+  centres.reserve(config.num_clusters);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    centres.emplace_back(rng.Uniform(0.15, 0.85) * config.extent_km,
+                         rng.Uniform(0.15, 0.85) * config.extent_km);
+  }
+  const double spread = config.extent_km / 10.0;
+
+  auto clamp = [&](double v) {
+    if (v < 0.0) return 0.0;
+    if (v > config.extent_km) return config.extent_km;
+    return v;
+  };
+
+  std::vector<NodeInfo> nodes;
+  nodes.reserve(config.num_depots + config.num_factories);
+  // Depots sit near the campus perimeter (vehicles stage outside the dense
+  // factory blocks).
+  for (int d = 0; d < config.num_depots; ++d) {
+    NodeInfo n;
+    n.kind = NodeKind::kDepot;
+    const bool west = (d % 2 == 0);
+    n.x = clamp((west ? 0.05 : 0.95) * config.extent_km +
+                rng.Normal(0.0, spread / 2.0));
+    n.y = clamp(rng.Uniform(0.2, 0.8) * config.extent_km);
+    n.name = "depot_" + std::to_string(d);
+    nodes.push_back(n);
+  }
+  for (int f = 0; f < config.num_factories; ++f) {
+    NodeInfo n;
+    n.kind = NodeKind::kFactory;
+    const auto& centre = centres[f % config.num_clusters];
+    n.x = clamp(centre.first + rng.Normal(0.0, spread));
+    n.y = clamp(centre.second + rng.Normal(0.0, spread));
+    n.name = "factory_" + std::to_string(f);
+    nodes.push_back(n);
+  }
+
+  return std::make_shared<RoadNetwork>(
+      RoadNetwork::FromCoordinates(std::move(nodes), config.road_factor));
+}
+
+}  // namespace dpdp

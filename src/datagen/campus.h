@@ -1,0 +1,33 @@
+#ifndef DPDP_DATAGEN_CAMPUS_H_
+#define DPDP_DATAGEN_CAMPUS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/road_network.h"
+
+namespace dpdp {
+
+/// Parameters of the synthetic manufacturing campus. Defaults mirror the
+/// paper's setting: 27 factories in a Pearl-River-Delta manufacturing
+/// campus plus a small number of vehicle depots.
+struct CampusConfig {
+  int num_factories = 27;
+  int num_depots = 2;
+  /// Factories are placed in clustered blobs inside a square of this side
+  /// length (km); the clustering produces the heterogeneous pairwise
+  /// distances a real campus has.
+  double extent_km = 8.0;
+  int num_clusters = 4;
+  /// Road distances are Euclidean distances scaled by this circuity factor.
+  double road_factor = 1.3;
+  uint64_t seed = 7;
+};
+
+/// Generates a reproducible campus road network. Depots come first in node
+/// id order, then factories (factory ordinal i = node id num_depots + i).
+std::shared_ptr<const RoadNetwork> GenerateCampus(const CampusConfig& config);
+
+}  // namespace dpdp
+
+#endif  // DPDP_DATAGEN_CAMPUS_H_

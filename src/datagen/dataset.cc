@@ -1,0 +1,105 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+
+#include "stpred/std_matrix.h"
+#include "util/rng.h"
+
+namespace dpdp {
+
+DpdpDataset::DpdpDataset(Config config) : config_(std::move(config)) {
+  DPDP_CHECK(config_.num_days > 0);
+  network_ = GenerateCampus(config_.campus);
+  demand_ = std::make_unique<DemandModel>(*network_, config_.num_intervals,
+                                          config_.seed ^ 0xabcdef12345ULL);
+  day_ready_.assign(config_.num_days, false);
+  days_.resize(config_.num_days);
+}
+
+const std::vector<Order>& DpdpDataset::Day(int d) {
+  DPDP_CHECK(d >= 0 && d < config_.num_days);
+  if (!day_ready_[d]) {
+    days_[d] = GenerateDayOrders(*network_, *demand_, config_.orders, d,
+                                 config_.num_intervals, config_.horizon_min,
+                                 config_.seed);
+    day_ready_[d] = true;
+  }
+  return days_[d];
+}
+
+nn::Matrix DpdpDataset::StdMatrixOfDay(int d) {
+  return BuildStdMatrix(*network_, Day(d), config_.num_intervals,
+                        config_.horizon_min);
+}
+
+std::vector<nn::Matrix> DpdpDataset::History(int day, int k) {
+  DPDP_CHECK(k > 0);
+  std::vector<nn::Matrix> out;
+  for (int d = std::max(0, day - k); d < day; ++d) {
+    out.push_back(StdMatrixOfDay(d));
+  }
+  DPDP_CHECK(!out.empty());
+  return out;
+}
+
+std::vector<int> DpdpDataset::MakeDepotAssignment(int num_vehicles) const {
+  DPDP_CHECK(num_vehicles > 0);
+  std::vector<int> depots(num_vehicles);
+  const auto& ids = network_->depot_ids();
+  for (int v = 0; v < num_vehicles; ++v) {
+    depots[v] = ids[v % ids.size()];
+  }
+  return depots;
+}
+
+Instance DpdpDataset::SampleInstance(const std::string& name, int num_orders,
+                                     int num_vehicles, int day_lo, int day_hi,
+                                     uint64_t seed) {
+  DPDP_CHECK(day_lo >= 0 && day_hi < config_.num_days && day_lo <= day_hi);
+  DPDP_CHECK(num_orders > 0);
+
+  // Pool the candidate days, then sample uniformly without replacement.
+  std::vector<Order> pool;
+  for (int d = day_lo; d <= day_hi; ++d) {
+    const std::vector<Order>& day = Day(d);
+    pool.insert(pool.end(), day.begin(), day.end());
+  }
+  DPDP_CHECK(!pool.empty());
+
+  Rng rng(seed);
+  Instance inst;
+  inst.name = name;
+  inst.network = network_;
+  inst.vehicle_config = config_.vehicle;
+  inst.vehicle_depots = MakeDepotAssignment(num_vehicles);
+  inst.num_time_intervals = config_.num_intervals;
+  inst.horizon_minutes = config_.horizon_min;
+
+  if (static_cast<size_t>(num_orders) >= pool.size()) {
+    inst.orders = pool;
+  } else {
+    rng.Shuffle(&pool);
+    inst.orders.assign(pool.begin(), pool.begin() + num_orders);
+  }
+  CanonicalizeOrders(&inst.orders);
+  DPDP_CHECK_OK(ValidateInstance(inst));
+  return inst;
+}
+
+Instance DpdpDataset::FullDayInstance(const std::string& name, int day,
+                                      int num_vehicles) {
+  DPDP_CHECK(day >= 0 && day < config_.num_days);
+  Instance inst;
+  inst.name = name;
+  inst.network = network_;
+  inst.vehicle_config = config_.vehicle;
+  inst.vehicle_depots = MakeDepotAssignment(num_vehicles);
+  inst.num_time_intervals = config_.num_intervals;
+  inst.horizon_minutes = config_.horizon_min;
+  inst.orders = Day(day);
+  CanonicalizeOrders(&inst.orders);
+  DPDP_CHECK_OK(ValidateInstance(inst));
+  return inst;
+}
+
+}  // namespace dpdp

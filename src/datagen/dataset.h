@@ -1,0 +1,74 @@
+#ifndef DPDP_DATAGEN_DATASET_H_
+#define DPDP_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/campus.h"
+#include "datagen/demand_model.h"
+#include "datagen/order_gen.h"
+#include "model/instance.h"
+#include "nn/matrix.h"
+
+namespace dpdp {
+
+/// The synthetic stand-in for the paper's historical order pool (delivery
+/// orders of July-October 2019, ~80k orders): a campus network, a demand
+/// model and a configurable number of generated days. Days are produced
+/// lazily and cached; everything is a pure function of the seeds.
+class DpdpDataset {
+ public:
+  struct Config {
+    CampusConfig campus;
+    OrderGenConfig orders;
+    VehicleConfig vehicle;
+    int num_days = 100;
+    int num_intervals = kDefaultNumIntervals;
+    double horizon_min = kMinutesPerDay;
+    uint64_t seed = 2021;
+  };
+
+  explicit DpdpDataset(Config config);
+
+  const Config& config() const { return config_; }
+  std::shared_ptr<const RoadNetwork> network() const { return network_; }
+  const DemandModel& demand_model() const { return *demand_; }
+  int num_days() const { return config_.num_days; }
+
+  /// Orders of day d (canonicalized), generated on first access.
+  const std::vector<Order>& Day(int d);
+
+  /// STD matrix of day d (Definition 1).
+  nn::Matrix StdMatrixOfDay(int d);
+
+  /// STD matrices of the `k` days preceding `day` (oldest first), the
+  /// predictor's input for dispatching day `day`.
+  std::vector<nn::Matrix> History(int day, int k);
+
+  /// Builds an instance from `num_orders` orders sampled uniformly (without
+  /// replacement when possible) from the pooled days in [day_lo, day_hi],
+  /// matching the paper's instance-sampling protocol. Creation times are
+  /// preserved; ids are re-canonicalized.
+  Instance SampleInstance(const std::string& name, int num_orders,
+                          int num_vehicles, int day_lo, int day_hi,
+                          uint64_t seed);
+
+  /// Builds an "industry-scale" instance: the full real stream of one day.
+  Instance FullDayInstance(const std::string& name, int day,
+                           int num_vehicles);
+
+ private:
+  std::vector<int> MakeDepotAssignment(int num_vehicles) const;
+
+  Config config_;
+  std::shared_ptr<const RoadNetwork> network_;
+  std::unique_ptr<DemandModel> demand_;
+  std::vector<bool> day_ready_;
+  std::vector<std::vector<Order>> days_;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_DATAGEN_DATASET_H_

@@ -1,0 +1,72 @@
+#include "datagen/order_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dpdp {
+
+std::vector<Order> GenerateDayOrders(const RoadNetwork& network,
+                                     const DemandModel& demand,
+                                     const OrderGenConfig& config, int day,
+                                     int num_intervals, double horizon_min,
+                                     uint64_t seed) {
+  DPDP_CHECK(num_intervals == demand.num_intervals());
+  DPDP_CHECK(network.num_factories() == demand.num_factories());
+  DPDP_CHECK(network.num_factories() >= 2);
+
+  Rng rng(seed ^ (0xd1b54a32d192ed03ULL * static_cast<uint64_t>(day + 1)));
+  const double total_rate = demand.TotalRate(day);
+  DPDP_CHECK(total_rate > 0.0);
+  const double scale = config.mean_orders_per_day / total_rate;
+  const double minutes_per_interval =
+      horizon_min / static_cast<double>(num_intervals);
+
+  std::vector<Order> orders;
+  std::vector<double> delivery_weights(network.num_factories());
+
+  for (int i = 0; i < network.num_factories(); ++i) {
+    const int pickup_node = network.FactoryNode(i);
+    // Delivery factory preference: demand weight damped by distance, so
+    // cargo flows stay somewhat local (hitchhiking structure).
+    for (int f = 0; f < network.num_factories(); ++f) {
+      if (f == i) {
+        delivery_weights[f] = 0.0;
+        continue;
+      }
+      const double dist =
+          network.Distance(pickup_node, network.FactoryNode(f));
+      delivery_weights[f] = demand.FactoryWeight(f) *
+                            std::exp(-dist / config.distance_decay_km);
+    }
+    for (int j = 0; j < num_intervals; ++j) {
+      const int count = rng.Poisson(demand.Rate(i, j, day) * scale);
+      for (int c = 0; c < count; ++c) {
+        Order o;
+        o.pickup_node = pickup_node;
+        o.delivery_node =
+            network.FactoryNode(rng.Categorical(delivery_weights));
+        o.create_time_min =
+            (static_cast<double>(j) + rng.Uniform()) * minutes_per_interval;
+        const double qty = config.quantity_median *
+                           std::exp(rng.Normal(0.0, config.quantity_sigma));
+        o.quantity = std::clamp(qty, 1.0, config.max_quantity);
+        const double direct_tt = network.TravelTimeMinutes(
+            o.pickup_node, o.delivery_node, config.speed_kmph);
+        const double floor = config.window_travel_multiplier * direct_tt +
+                             2.0 * config.service_time_min;
+        const double slack = rng.Uniform(config.min_window_slack_min,
+                                         config.max_window_slack_min);
+        o.latest_time_min = o.create_time_min + std::max(slack, floor);
+        orders.push_back(o);
+      }
+    }
+  }
+
+  CanonicalizeOrders(&orders);
+  return orders;
+}
+
+}  // namespace dpdp

@@ -1,0 +1,52 @@
+#ifndef DPDP_DATAGEN_ORDER_GEN_H_
+#define DPDP_DATAGEN_ORDER_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/demand_model.h"
+#include "model/order.h"
+#include "net/road_network.h"
+
+namespace dpdp {
+
+/// Controls for synthesizing one day of delivery orders from a DemandModel.
+struct OrderGenConfig {
+  /// Expected number of orders for the day (Poisson around per-cell rates
+  /// scaled to this total).
+  double mean_orders_per_day = 600.0;
+
+  /// Cargo quantity: lognormal(log(quantity_median), quantity_sigma),
+  /// clipped to [1, max_quantity].
+  double quantity_median = 10.0;
+  double quantity_sigma = 0.6;
+  double max_quantity = 60.0;
+
+  /// Delivery deadline: t_l = t_c + max(sampled slack, feasibility floor),
+  /// where slack ~ U[min_window_slack_min, max_window_slack_min] and the
+  /// floor is window_travel_multiplier x direct travel time + loading time.
+  double min_window_slack_min = 120.0;
+  double max_window_slack_min = 360.0;
+  double window_travel_multiplier = 3.0;
+  double speed_kmph = 40.0;          ///< Used only for the feasibility floor.
+  double service_time_min = 5.0;
+
+  /// Deliveries prefer nearby factories with this strength (0 = uniform by
+  /// factory weight; larger values localize flows and create hitchhiking
+  /// structure).
+  double distance_decay_km = 4.0;
+};
+
+/// Generates the delivery orders of day `day`. Counts per (factory,
+/// interval) cell are Poisson with mean proportional to the demand model's
+/// rate; creation times are uniform inside the cell's interval. Orders are
+/// returned canonicalized (sorted by creation time, dense ids).
+std::vector<Order> GenerateDayOrders(const RoadNetwork& network,
+                                     const DemandModel& demand,
+                                     const OrderGenConfig& config, int day,
+                                     int num_intervals, double horizon_min,
+                                     uint64_t seed);
+
+}  // namespace dpdp
+
+#endif  // DPDP_DATAGEN_ORDER_GEN_H_

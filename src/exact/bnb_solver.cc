@@ -1,0 +1,278 @@
+#include "exact/bnb_solver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/timer.h"
+
+namespace dpdp {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+struct BranchAndBoundSolver::SearchState {
+  // --- Immutable within one Solve() call ---------------------------------
+  WallTimer timer;
+  int64_t nodes = 0;
+  bool aborted = false;
+
+  // --- Mutable DFS state ---------------------------------------------------
+  uint32_t unserved = 0;            ///< Bitmask over order ids.
+  std::vector<int> stack;           ///< Onboard order ids (LIFO).
+  double load = 0.0;
+  int node = -1;                    ///< Current vehicle position.
+  double time = 0.0;
+  double cost = 0.0;                ///< mu + delta cost accrued so far.
+  double length = 0.0;
+  int used_vehicles = 0;
+  int current_depot = -1;           ///< Depot of the open vehicle.
+  std::vector<int> open_depots;     ///< Remaining fresh-vehicle depots pool.
+  std::vector<Stop> current_route;
+  std::vector<std::vector<Stop>> closed_routes;
+
+  // --- Incumbent ----------------------------------------------------------
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_length = 0.0;
+  int best_nuv = 0;
+  std::vector<std::vector<Stop>> best_routes;
+  std::vector<int> route_depots;        ///< Depot per closed/current route.
+  std::vector<int> best_route_depots;
+};
+
+BranchAndBoundSolver::BranchAndBoundSolver(const Instance* instance,
+                                           ExactSolverConfig config)
+    : instance_(instance), config_(config) {
+  DPDP_CHECK(instance_ != nullptr);
+  DPDP_CHECK_OK(ValidateInstance(*instance_));
+  DPDP_CHECK(instance_->num_orders() <= 30);  // Bitmask width.
+  const RoadNetwork& net = *instance_->network;
+  min_in_.assign(net.num_nodes(), 0.0);
+  for (int j = 0; j < net.num_nodes(); ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < net.num_nodes(); ++i) {
+      if (i != j) best = std::min(best, net.Distance(i, j));
+    }
+    min_in_[j] = best;
+  }
+}
+
+double BranchAndBoundSolver::ArrivalLowerBound(
+    uint32_t unserved_mask, const std::vector<int>& stack) const {
+  // Every unserved order still requires an arrival at its pickup and its
+  // delivery node; every onboard order requires an arrival at its delivery
+  // node. Each arc traversal realizes exactly one arrival, so summing
+  // cheapest-incoming-arc costs is admissible.
+  double lb = 0.0;
+  for (int o = 0; o < instance_->num_orders(); ++o) {
+    if (unserved_mask & (1u << o)) {
+      lb += min_in_[instance_->order(o).pickup_node];
+      lb += min_in_[instance_->order(o).delivery_node];
+    }
+  }
+  for (int o : stack) lb += min_in_[instance_->order(o).delivery_node];
+  return lb * instance_->vehicle_config.cost_per_km;
+}
+
+void BranchAndBoundSolver::Dfs(SearchState* s) {
+  if (s->aborted) return;
+  if (++s->nodes % 16384 == 0) {
+    if (s->nodes > config_.node_limit ||
+        s->timer.ElapsedSeconds() > config_.time_limit_seconds) {
+      s->aborted = true;
+      return;
+    }
+  }
+
+  const RoadNetwork& net = *instance_->network;
+  const VehicleConfig& cfg = instance_->vehicle_config;
+
+  // Bound: optimistic completion cost.
+  if (s->cost + ArrivalLowerBound(s->unserved, s->stack) >=
+      s->best_cost - kEps) {
+    return;
+  }
+
+  // Goal test: everything delivered and nothing onboard -> close the
+  // current vehicle and record the incumbent.
+  if (s->unserved == 0 && s->stack.empty()) {
+    const double back = net.Distance(s->node, s->current_depot);
+    const double total_cost = s->cost + cfg.cost_per_km * back;
+    if (total_cost < s->best_cost - kEps) {
+      s->best_cost = total_cost;
+      s->best_length = s->length + back;
+      s->best_nuv = s->used_vehicles;
+      s->best_routes = s->closed_routes;
+      s->best_routes.push_back(s->current_route);
+      s->best_route_depots = s->route_depots;
+      s->best_route_depots.push_back(s->current_depot);
+    }
+    return;
+  }
+
+  // Move (b): deliver the top of the LIFO stack.
+  if (!s->stack.empty()) {
+    const Order& order = instance_->order(s->stack.back());
+    const double dist = net.Distance(s->node, order.delivery_node);
+    const double arrival =
+        s->time + net.TravelTimeMinutes(s->node, order.delivery_node,
+                                        cfg.speed_kmph);
+    if (arrival <= order.latest_time_min + kEps) {
+      const int save_node = s->node;
+      const double save_time = s->time;
+      s->stack.pop_back();
+      s->load -= order.quantity;
+      s->node = order.delivery_node;
+      s->time = arrival + cfg.service_time_min;
+      s->cost += cfg.cost_per_km * dist;
+      s->length += dist;
+      s->current_route.push_back(
+          {order.delivery_node, order.id, StopType::kDelivery});
+
+      Dfs(s);
+
+      s->current_route.pop_back();
+      s->length -= dist;
+      s->cost -= cfg.cost_per_km * dist;
+      s->time = save_time;
+      s->node = save_node;
+      s->load += order.quantity;
+      s->stack.push_back(order.id);
+    }
+  }
+
+  // Move (a): drive to the pickup of an unserved order that fits.
+  for (int o = 0; o < instance_->num_orders(); ++o) {
+    if (!(s->unserved & (1u << o))) continue;
+    const Order& order = instance_->order(o);
+    if (s->load + order.quantity > cfg.capacity + kEps) continue;
+    // A vehicle must be open to pick up (handled by the caller: Solve()
+    // opens vehicle 0; move (c) opens successors).
+    const double dist = net.Distance(s->node, order.pickup_node);
+    const double arrival =
+        s->time +
+        net.TravelTimeMinutes(s->node, order.pickup_node, cfg.speed_kmph);
+    const double service_start = std::max(arrival, order.create_time_min);
+
+    const int save_node = s->node;
+    const double save_time = s->time;
+    s->unserved &= ~(1u << o);
+    s->stack.push_back(o);
+    s->load += order.quantity;
+    s->node = order.pickup_node;
+    s->time = service_start + cfg.service_time_min;
+    s->cost += cfg.cost_per_km * dist;
+    s->length += dist;
+    s->current_route.push_back({order.pickup_node, o, StopType::kPickup});
+
+    Dfs(s);
+
+    s->current_route.pop_back();
+    s->length -= dist;
+    s->cost -= cfg.cost_per_km * dist;
+    s->time = save_time;
+    s->node = save_node;
+    s->load -= order.quantity;
+    s->stack.pop_back();
+    s->unserved |= (1u << o);
+  }
+
+  // Move (c): with an empty stack and work remaining, close this vehicle
+  // (return leg) and open a fresh vehicle. Only one fresh vehicle per
+  // distinct depot needs to be tried (same-depot vehicles are identical).
+  if (s->stack.empty() && s->unserved != 0 && !s->current_route.empty() &&
+      !s->open_depots.empty()) {
+    const double back = net.Distance(s->node, s->current_depot);
+
+    std::vector<int> tried;
+    for (size_t d = 0; d < s->open_depots.size(); ++d) {
+      const int depot = s->open_depots[d];
+      if (std::find(tried.begin(), tried.end(), depot) != tried.end()) {
+        continue;
+      }
+      tried.push_back(depot);
+
+      const int save_node = s->node;
+      const double save_time = s->time;
+      std::vector<int> save_pool = s->open_depots;
+      const int save_depot = s->current_depot;
+      s->open_depots.erase(s->open_depots.begin() + d);
+      s->closed_routes.push_back(s->current_route);
+      s->route_depots.push_back(s->current_depot);
+      std::vector<Stop> save_route = std::move(s->current_route);
+      s->current_route.clear();
+      ++s->used_vehicles;
+      s->cost += cfg.cost_per_km * back + cfg.fixed_cost;
+      s->length += back;
+      s->node = depot;
+      s->current_depot = depot;
+      s->time = 0.0;
+
+      Dfs(s);
+
+      s->time = save_time;
+      s->node = save_node;
+      s->current_depot = save_depot;
+      s->length -= back;
+      s->cost -= cfg.cost_per_km * back + cfg.fixed_cost;
+      --s->used_vehicles;
+      s->current_route = std::move(save_route);
+      s->closed_routes.pop_back();
+      s->route_depots.pop_back();
+      s->open_depots = std::move(save_pool);
+    }
+  }
+}
+
+ExactSolution BranchAndBoundSolver::Solve() {
+  SearchState s;
+  s.unserved = (instance_->num_orders() >= 31)
+                   ? 0xFFFFFFFFu
+                   : ((1u << instance_->num_orders()) - 1u);
+
+  // Vehicle pool: remaining depots, one slot per configured vehicle. The
+  // first vehicle opens immediately (its fixed cost is charged up front;
+  // if the instance has zero orders the loop below never recurses).
+  std::vector<int> pool = instance_->vehicle_depots;
+  DPDP_CHECK(!pool.empty());
+
+  ExactSolution out;
+  if (instance_->num_orders() == 0) {
+    out.found = true;
+    out.optimal = true;
+    return out;
+  }
+
+  // Try each distinct starting depot for vehicle 0.
+  std::vector<int> tried;
+  for (size_t d = 0; d < pool.size(); ++d) {
+    const int depot = pool[d];
+    if (std::find(tried.begin(), tried.end(), depot) != tried.end()) {
+      continue;
+    }
+    tried.push_back(depot);
+    s.open_depots = pool;
+    s.open_depots.erase(s.open_depots.begin() + d);
+    s.used_vehicles = 1;
+    s.cost = instance_->vehicle_config.fixed_cost;
+    s.node = depot;
+    s.current_depot = depot;
+    s.time = 0.0;
+    Dfs(&s);
+  }
+
+  out.nodes_explored = s.nodes;
+  out.wall_seconds = s.timer.ElapsedSeconds();
+  if (s.best_cost < std::numeric_limits<double>::infinity()) {
+    out.found = true;
+    out.optimal = !s.aborted;
+    out.total_cost = s.best_cost;
+    out.total_travel_length = s.best_length;
+    out.nuv = s.best_nuv;
+    out.routes = s.best_routes;
+    out.route_depots = s.best_route_depots;
+  }
+  return out;
+}
+
+}  // namespace dpdp

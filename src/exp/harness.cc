@@ -1,0 +1,185 @@
+#include "exp/harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "rl/actor_critic.h"
+#include "rl/config.h"
+#include "rl/dqn_agent.h"
+#include "util/timer.h"
+
+namespace dpdp {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+bool FastMode() { return EnvInt("DPDP_FAST", 0) != 0; }
+
+DpdpDataset::Config StandardDatasetConfig(uint64_t seed,
+                                          double mean_orders_per_day,
+                                          double min_window_slack_min,
+                                          double max_window_slack_min) {
+  // Calibration note: window tightness, speed and per-stop service time
+  // are set so the fleet pressure matches the paper's reported scales
+  // (Fig. 6: ~26-50 used vehicles for 50 vehicles / 150 orders).
+  DpdpDataset::Config config;
+  config.campus.num_factories = 27;
+  config.campus.num_depots = 2;
+  config.campus.seed = seed;
+  config.orders.mean_orders_per_day = mean_orders_per_day;
+  config.orders.min_window_slack_min = min_window_slack_min;
+  config.orders.max_window_slack_min = max_window_slack_min;
+  config.vehicle.capacity = 100.0;
+  config.vehicle.fixed_cost = 300.0;
+  config.vehicle.cost_per_km = 2.0;
+  config.vehicle.speed_kmph = 30.0;
+  config.vehicle.service_time_min = 10.0;
+  config.orders.speed_kmph = config.vehicle.speed_kmph;
+  config.orders.service_time_min = config.vehicle.service_time_min;
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<LearningDispatcher> MakeAgentByName(const std::string& method,
+                                                    uint64_t seed) {
+  if (method == "AC") {
+    AgentConfig c = MakeDqnConfig(seed);  // Vanilla AC: no graph, no ST.
+    return std::make_unique<ActorCriticAgent>(c, "AC");
+  }
+  if (method == "Graph-AC") {
+    AgentConfig c = MakeDgnConfig(seed);  // Relational actor/critic.
+    return std::make_unique<ActorCriticAgent>(c, "Graph-AC");
+  }
+  AgentConfig c;
+  if (method == "DQN") {
+    c = MakeDqnConfig(seed);
+  } else if (method == "DDQN") {
+    c = MakeDdqnConfig(seed);
+  } else if (method == "ST-DDQN") {
+    c = MakeStDdqnConfig(seed);
+  } else if (method == "DGN") {
+    c = MakeDgnConfig(seed);
+  } else if (method == "DDGN") {
+    c = MakeDdgnConfig(seed);
+  } else if (method == "ST-DDGN") {
+    c = MakeStDdgnConfig(seed);
+  } else {
+    DPDP_CHECK(false && "unknown DRL method name");
+  }
+  return std::make_unique<DqnFleetAgent>(c, method);
+}
+
+const std::vector<std::string>& ComparisonDrlMethods() {
+  static const std::vector<std::string>* methods =
+      new std::vector<std::string>{"DQN", "AC", "DGN", "ST-DDGN"};
+  return *methods;
+}
+
+const std::vector<std::string>& AblationModels() {
+  static const std::vector<std::string>* models =
+      new std::vector<std::string>{"DDQN", "ST-DDQN", "DDGN", "ST-DDGN"};
+  return *models;
+}
+
+DrlOutcome TrainEvalOnInstance(const Instance& instance,
+                               const nn::Matrix& predicted_std,
+                               const std::string& method, uint64_t seed,
+                               int episodes) {
+  SimulatorConfig sim_config;
+  sim_config.predicted_std = predicted_std;
+  Simulator simulator(&instance, sim_config);
+
+  DrlOutcome out;
+  out.method = method;
+  std::unique_ptr<LearningDispatcher> agent = MakeAgentByName(method, seed);
+
+  WallTimer timer;
+  agent->set_training(true);
+  TrainOptions options;
+  options.episodes = episodes;
+  out.curve = RunEpisodes(&simulator, agent.get(), options);
+  out.train_seconds = timer.ElapsedSeconds();
+
+  agent->set_training(false);
+  agent->FinalizeTraining();
+  out.eval = simulator.RunEpisode(agent.get());
+  out.eval_decision_seconds = out.eval.decision_wall_seconds;
+  return out;
+}
+
+Instance SampleInstanceInWindow(DpdpDataset* dataset,
+                                const std::string& name, int num_orders,
+                                int num_vehicles, int day_lo, int day_hi,
+                                double t_lo_min, double t_hi_min,
+                                uint64_t seed) {
+  DPDP_CHECK(dataset != nullptr);
+  std::vector<Order> pool;
+  for (int d = day_lo; d <= day_hi; ++d) {
+    for (const Order& o : dataset->Day(d)) {
+      if (o.create_time_min >= t_lo_min && o.create_time_min < t_hi_min) {
+        pool.push_back(o);
+      }
+    }
+  }
+  DPDP_CHECK(!pool.empty());
+  Rng rng(seed);
+  rng.Shuffle(&pool);
+  Instance inst;
+  inst.name = name;
+  inst.network = dataset->network();
+  inst.vehicle_config = dataset->config().vehicle;
+  inst.num_time_intervals = dataset->config().num_intervals;
+  inst.horizon_minutes = dataset->config().horizon_min;
+  const auto& depot_ids = dataset->network()->depot_ids();
+  inst.vehicle_depots.resize(num_vehicles);
+  for (int v = 0; v < num_vehicles; ++v) {
+    inst.vehicle_depots[v] = depot_ids[v % depot_ids.size()];
+  }
+  const size_t take = std::min<size_t>(pool.size(), num_orders);
+  inst.orders.assign(pool.begin(), pool.begin() + take);
+  CanonicalizeOrders(&inst.orders);
+  DPDP_CHECK_OK(ValidateInstance(inst));
+  return inst;
+}
+
+MethodSummary RunBaseline(const Instance& instance, Dispatcher* baseline,
+                          const nn::Matrix& predicted_std) {
+  SimulatorConfig sim_config;
+  sim_config.predicted_std = predicted_std;
+  Simulator simulator(&instance, sim_config);
+  const EpisodeResult result = simulator.RunEpisode(baseline);
+  MethodSummary summary;
+  summary.method = baseline->name();
+  summary.nuv.push_back(result.nuv);
+  summary.tc.push_back(result.total_cost);
+  summary.wall.push_back(result.decision_wall_seconds);
+  return summary;
+}
+
+MethodSummary RunDrlMethod(const Instance& instance,
+                           const nn::Matrix& predicted_std,
+                           const std::string& method, int episodes,
+                           int num_seeds, uint64_t seed_base) {
+  MethodSummary summary;
+  summary.method = method;
+  for (int s = 0; s < num_seeds; ++s) {
+    const DrlOutcome outcome = TrainEvalOnInstance(
+        instance, predicted_std, method,
+        seed_base + 1000003ULL * static_cast<uint64_t>(s), episodes);
+    summary.nuv.push_back(outcome.eval.nuv);
+    summary.tc.push_back(outcome.eval.total_cost);
+    summary.wall.push_back(outcome.eval_decision_seconds);
+  }
+  return summary;
+}
+
+}  // namespace dpdp

@@ -1,0 +1,98 @@
+#ifndef DPDP_EXP_HARNESS_H_
+#define DPDP_EXP_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "model/instance.h"
+#include "nn/matrix.h"
+#include "rl/learning.h"
+#include "rl/trainer.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace dpdp {
+
+/// Reads an integer / double from the environment (bench binaries honour
+/// DPDP_EPISODES, DPDP_SEEDS, DPDP_FAST, ... so runtimes can be scaled).
+int EnvInt(const char* name, int fallback);
+double EnvDouble(const char* name, double fallback);
+
+/// True when DPDP_FAST is set to a non-zero value: bench binaries shrink
+/// training budgets for smoke runs.
+bool FastMode();
+
+/// The standard experiment "world": the paper's campus (27 factories),
+/// vehicle economics, and the synthetic order pool. `mean_orders_per_day`
+/// and window tightness vary per experiment scale.
+DpdpDataset::Config StandardDatasetConfig(uint64_t seed,
+                                          double mean_orders_per_day,
+                                          double min_window_slack_min = 45.0,
+                                          double max_window_slack_min = 150.0);
+
+/// Builds a DRL agent by its paper name: "DQN", "AC", "DDQN", "ST-DDQN",
+/// "DGN", "DDGN" or "ST-DDGN". Aborts on unknown names.
+std::unique_ptr<LearningDispatcher> MakeAgentByName(const std::string& method,
+                                                    uint64_t seed);
+
+/// Names of the four comparison DRL methods of Table I / Figs. 6-7.
+const std::vector<std::string>& ComparisonDrlMethods();
+
+/// Names of the four ablation models of Table II / Fig. 8.
+const std::vector<std::string>& AblationModels();
+
+/// One train-then-evaluate run of a DRL method on an instance.
+struct DrlOutcome {
+  std::string method;
+  EpisodeResult eval;           ///< Greedy evaluation after training.
+  TrainingCurve curve;          ///< Per-episode training metrics.
+  double train_seconds = 0.0;
+  double eval_decision_seconds = 0.0;  ///< Pure inference wall time.
+};
+
+/// Trains `method` for `episodes` on `instance` (ST Score computed from
+/// `predicted_std` when non-empty) and evaluates the greedy policy once.
+DrlOutcome TrainEvalOnInstance(const Instance& instance,
+                               const nn::Matrix& predicted_std,
+                               const std::string& method, uint64_t seed,
+                               int episodes);
+
+/// Aggregate of repeated runs (the paper repeats DRL training five times
+/// per instance to smooth seed variance).
+struct MethodSummary {
+  std::string method;
+  std::vector<double> nuv;
+  std::vector<double> tc;
+  std::vector<double> wall;  ///< Decision/inference seconds per run.
+
+  double nuv_mean() const { return Mean(nuv); }
+  double nuv_std() const { return Stddev(nuv); }
+  double tc_mean() const { return Mean(tc); }
+  double tc_std() const { return Stddev(tc); }
+  double wall_mean() const { return Mean(wall); }
+};
+
+/// Samples `num_orders` orders whose creation times fall inside
+/// [t_lo_min, t_hi_min) from the pooled days — the tiny-instance protocol
+/// of Table I, where a handful of *concurrent* orders stress the fleet.
+Instance SampleInstanceInWindow(DpdpDataset* dataset,
+                                const std::string& name, int num_orders,
+                                int num_vehicles, int day_lo, int day_hi,
+                                double t_lo_min, double t_hi_min,
+                                uint64_t seed);
+
+/// Runs a heuristic baseline once (it is deterministic) on `instance`.
+MethodSummary RunBaseline(const Instance& instance, Dispatcher* baseline,
+                          const nn::Matrix& predicted_std = nn::Matrix());
+
+/// Trains + evaluates a DRL method across `seeds` independent runs.
+MethodSummary RunDrlMethod(const Instance& instance,
+                           const nn::Matrix& predicted_std,
+                           const std::string& method, int episodes,
+                           int num_seeds, uint64_t seed_base);
+
+}  // namespace dpdp
+
+#endif  // DPDP_EXP_HARNESS_H_

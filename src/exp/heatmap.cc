@@ -1,0 +1,89 @@
+#include "exp/heatmap.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpdp {
+
+std::string RenderHeatmap(const nn::Matrix& matrix, int max_cols) {
+  DPDP_CHECK(max_cols > 0);
+  if (matrix.empty()) return "(empty)\n";
+  const int rows = matrix.rows();
+  const int cols = matrix.cols();
+  const int out_cols = std::min(cols, max_cols);
+  const int pool = (cols + out_cols - 1) / out_cols;
+
+  // Average-pool columns.
+  nn::Matrix pooled(rows, out_cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int oc = 0; oc < out_cols; ++oc) {
+      double sum = 0.0;
+      int count = 0;
+      for (int c = oc * pool; c < std::min(cols, (oc + 1) * pool); ++c) {
+        sum += matrix(r, c);
+        ++count;
+      }
+      pooled(r, oc) = count ? sum / count : 0.0;
+    }
+  }
+
+  const double mx = std::max(pooled.MaxAll(), 1e-12);
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;
+
+  std::ostringstream os;
+  for (int r = 0; r < rows; ++r) {
+    os << (r < 10 ? " " : "") << r << " |";
+    for (int oc = 0; oc < out_cols; ++oc) {
+      const int level = static_cast<int>(pooled(r, oc) / mx * kLevels);
+      os << kRamp[std::clamp(level, 0, kLevels)];
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string SummarizeStdMatrix(const nn::Matrix& matrix,
+                               double horizon_min) {
+  const int rows = matrix.rows();
+  const int cols = matrix.cols();
+  const double total = matrix.SumAll();
+
+  std::vector<std::pair<double, int>> by_factory(rows);
+  for (int r = 0; r < rows; ++r) {
+    double s = 0.0;
+    for (int c = 0; c < cols; ++c) s += matrix(r, c);
+    by_factory[r] = {s, r};
+  }
+  std::sort(by_factory.rbegin(), by_factory.rend());
+
+  auto window_share = [&](double lo_min, double hi_min) {
+    if (total <= 0.0) return 0.0;
+    double s = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      const double mid = (c + 0.5) * horizon_min / cols;
+      if (mid >= lo_min && mid < hi_min) {
+        for (int r = 0; r < rows; ++r) s += matrix(r, c);
+      }
+    }
+    return s / total;
+  };
+
+  std::ostringstream os;
+  os << "total demand volume: " << total << "\n";
+  os << "hottest factories (ordinal: volume):";
+  for (int i = 0; i < std::min(rows, 5); ++i) {
+    os << " " << by_factory[i].second << ": "
+       << static_cast<long long>(by_factory[i].first) << ";";
+  }
+  os << "\n";
+  os << "share in 10:00-12:00 window: " << window_share(600, 720) << "\n";
+  os << "share in 14:00-17:00 window: " << window_share(840, 1020) << "\n";
+  os << "share in 00:00-06:00 window: " << window_share(0, 360) << "\n";
+  return os.str();
+}
+
+}  // namespace dpdp

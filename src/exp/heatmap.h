@@ -1,0 +1,23 @@
+#ifndef DPDP_EXP_HEATMAP_H_
+#define DPDP_EXP_HEATMAP_H_
+
+#include <string>
+
+#include "nn/matrix.h"
+
+namespace dpdp {
+
+/// Renders a matrix (e.g. a 27 x 144 STD matrix) as a terminal heatmap.
+/// Columns are average-pooled down to at most `max_cols`; intensities are
+/// binned into the ramp " .:-=+*#%@" (darker = stronger demand, matching
+/// the paper's Fig. 2 rendering). One output line per matrix row.
+std::string RenderHeatmap(const nn::Matrix& matrix, int max_cols = 72);
+
+/// Short textual profile of an STD matrix: total volume, hottest factories
+/// and the share of demand in the paper's peak windows (10-12 h, 14-17 h).
+std::string SummarizeStdMatrix(const nn::Matrix& matrix,
+                               double horizon_min = 1440.0);
+
+}  // namespace dpdp
+
+#endif  // DPDP_EXP_HEATMAP_H_

@@ -1,0 +1,49 @@
+#include "model/instance.h"
+
+namespace dpdp {
+
+Status ValidateInstance(const Instance& instance) {
+  if (instance.network == nullptr) {
+    return Status::InvalidArgument("instance has no road network");
+  }
+  const int num_nodes = instance.network->num_nodes();
+  double prev_create = -1.0;
+  for (int i = 0; i < instance.num_orders(); ++i) {
+    const Order& o = instance.orders[i];
+    if (o.id != i) {
+      return Status::InvalidArgument(
+          "orders must be canonicalized (dense ids in creation order)");
+    }
+    if (o.create_time_min < prev_create) {
+      return Status::InvalidArgument("orders not sorted by creation time");
+    }
+    prev_create = o.create_time_min;
+    DPDP_RETURN_IF_ERROR(ValidateOrder(o, num_nodes));
+    if (o.quantity > instance.vehicle_config.capacity) {
+      return Status::Infeasible("order exceeds vehicle capacity: " +
+                                o.DebugString());
+    }
+  }
+  if (instance.vehicle_depots.empty()) {
+    return Status::InvalidArgument("instance has no vehicles");
+  }
+  for (int depot : instance.vehicle_depots) {
+    if (depot < 0 || depot >= num_nodes) {
+      return Status::InvalidArgument("vehicle depot out of range");
+    }
+    if (instance.network->node(depot).kind != NodeKind::kDepot) {
+      return Status::InvalidArgument("vehicle depot is not a depot node");
+    }
+  }
+  const VehicleConfig& cfg = instance.vehicle_config;
+  if (cfg.capacity <= 0.0 || cfg.fixed_cost < 0.0 || cfg.cost_per_km < 0.0 ||
+      cfg.speed_kmph <= 0.0 || cfg.service_time_min < 0.0) {
+    return Status::InvalidArgument("invalid vehicle config");
+  }
+  if (instance.num_time_intervals <= 0 || instance.horizon_minutes <= 0.0) {
+    return Status::InvalidArgument("invalid time discretization");
+  }
+  return Status::OK();
+}
+
+}  // namespace dpdp

@@ -1,0 +1,44 @@
+#ifndef DPDP_MODEL_INSTANCE_H_
+#define DPDP_MODEL_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "net/road_network.h"
+#include "util/status.h"
+
+namespace dpdp {
+
+/// A complete DPDP instance: the campus road network, one day's stream of
+/// delivery orders (sorted by creation time with dense ids), and the fleet
+/// definition. Instances are immutable once validated and are shared across
+/// dispatchers / training episodes.
+struct Instance {
+  std::string name;
+  std::shared_ptr<const RoadNetwork> network;
+  std::vector<Order> orders;          ///< Canonicalized (see order.h).
+  VehicleConfig vehicle_config;
+  std::vector<int> vehicle_depots;    ///< Starting depot per vehicle; size K.
+  int num_time_intervals = kDefaultNumIntervals;
+  double horizon_minutes = kMinutesPerDay;
+
+  int num_vehicles() const { return static_cast<int>(vehicle_depots.size()); }
+  int num_orders() const { return static_cast<int>(orders.size()); }
+
+  const Order& order(int id) const {
+    DPDP_CHECK(id >= 0 && id < num_orders());
+    return orders[id];
+  }
+};
+
+/// Checks structural validity: network present, orders canonical and
+/// individually valid, depots exist and are depot nodes, positive fleet
+/// size and sane config values.
+Status ValidateInstance(const Instance& instance);
+
+}  // namespace dpdp
+
+#endif  // DPDP_MODEL_INSTANCE_H_

@@ -1,0 +1,246 @@
+#include "model/instance_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace dpdp {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += ch;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+bool IsSkippable(const std::string& line) {
+  if (line.empty()) return true;
+  return line[0] == '#';
+}
+
+Status ParseError(int line_no, const std::string& what) {
+  return Status::InvalidArgument("instance csv line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+void SaveInstanceCsv(const Instance& instance, std::ostream* os) {
+  DPDP_CHECK(os != nullptr);
+  DPDP_CHECK(instance.network != nullptr);
+  const RoadNetwork& net = *instance.network;
+  std::ostream& out = *os;
+  out.precision(17);
+
+  out << "[meta]\n";
+  out << "name,num_time_intervals,horizon_minutes\n";
+  out << instance.name << "," << instance.num_time_intervals << ","
+      << instance.horizon_minutes << "\n";
+
+  out << "[nodes]\n";
+  out << "id,kind,x,y,name\n";
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    const NodeInfo& n = net.node(i);
+    out << n.id << ","
+        << (n.kind == NodeKind::kDepot ? "depot" : "factory") << "," << n.x
+        << "," << n.y << "," << n.name << "\n";
+  }
+
+  out << "[distances]\n";
+  out << "from,to,km\n";
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    for (int j = 0; j < net.num_nodes(); ++j) {
+      if (i == j) continue;
+      out << i << "," << j << "," << net.Distance(i, j) << "\n";
+    }
+  }
+
+  const VehicleConfig& cfg = instance.vehicle_config;
+  out << "[vehicle_config]\n";
+  out << "capacity,fixed_cost,cost_per_km,speed_kmph,service_time_min\n";
+  out << cfg.capacity << "," << cfg.fixed_cost << "," << cfg.cost_per_km
+      << "," << cfg.speed_kmph << "," << cfg.service_time_min << "\n";
+
+  out << "[vehicle_depots]\n";
+  out << "depot_node\n";
+  for (int depot : instance.vehicle_depots) out << depot << "\n";
+
+  out << "[orders]\n";
+  out << "id,pickup,delivery,quantity,create_min,latest_min\n";
+  for (const Order& o : instance.orders) {
+    out << o.id << "," << o.pickup_node << "," << o.delivery_node << ","
+        << o.quantity << "," << o.create_time_min << ","
+        << o.latest_time_min << "\n";
+  }
+}
+
+Status SaveInstanceCsvFile(const Instance& instance,
+                           const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::NotFound("cannot open for writing: " + path);
+  SaveInstanceCsv(instance, &file);
+  file.flush();
+  if (!file) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Instance> LoadInstanceCsv(std::istream* is) {
+  DPDP_CHECK(is != nullptr);
+
+  enum class Section {
+    kNone,
+    kMeta,
+    kNodes,
+    kDistances,
+    kVehicleConfig,
+    kVehicleDepots,
+    kOrders,
+  };
+
+  Instance inst;
+  std::vector<NodeInfo> nodes;
+  std::vector<std::tuple<int, int, double>> distances;
+  Section section = Section::kNone;
+  bool header_consumed = false;
+  std::string line;
+  int line_no = 0;
+
+  while (std::getline(*is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (IsSkippable(line)) continue;
+    if (line[0] == '[') {
+      if (line == "[meta]") {
+        section = Section::kMeta;
+      } else if (line == "[nodes]") {
+        section = Section::kNodes;
+      } else if (line == "[distances]") {
+        section = Section::kDistances;
+      } else if (line == "[vehicle_config]") {
+        section = Section::kVehicleConfig;
+      } else if (line == "[vehicle_depots]") {
+        section = Section::kVehicleDepots;
+      } else if (line == "[orders]") {
+        section = Section::kOrders;
+      } else {
+        return ParseError(line_no, "unknown section " + line);
+      }
+      header_consumed = false;
+      continue;
+    }
+    if (!header_consumed) {
+      header_consumed = true;  // Column-name row of the section.
+      continue;
+    }
+
+    const std::vector<std::string> f = SplitCsvLine(line);
+    try {
+      switch (section) {
+        case Section::kNone:
+          return ParseError(line_no, "data before any section");
+        case Section::kMeta: {
+          if (f.size() != 3) return ParseError(line_no, "meta needs 3 fields");
+          inst.name = f[0];
+          inst.num_time_intervals = std::stoi(f[1]);
+          inst.horizon_minutes = std::stod(f[2]);
+          break;
+        }
+        case Section::kNodes: {
+          if (f.size() != 5) return ParseError(line_no, "node needs 5 fields");
+          NodeInfo n;
+          n.id = std::stoi(f[0]);
+          if (f[1] == "depot") {
+            n.kind = NodeKind::kDepot;
+          } else if (f[1] == "factory") {
+            n.kind = NodeKind::kFactory;
+          } else {
+            return ParseError(line_no, "bad node kind " + f[1]);
+          }
+          n.x = std::stod(f[2]);
+          n.y = std::stod(f[3]);
+          n.name = f[4];
+          if (n.id != static_cast<int>(nodes.size())) {
+            return ParseError(line_no, "node ids must be dense in order");
+          }
+          nodes.push_back(n);
+          break;
+        }
+        case Section::kDistances: {
+          if (f.size() != 3) {
+            return ParseError(line_no, "distance needs 3 fields");
+          }
+          distances.emplace_back(std::stoi(f[0]), std::stoi(f[1]),
+                                 std::stod(f[2]));
+          break;
+        }
+        case Section::kVehicleConfig: {
+          if (f.size() != 5) {
+            return ParseError(line_no, "vehicle config needs 5 fields");
+          }
+          inst.vehicle_config.capacity = std::stod(f[0]);
+          inst.vehicle_config.fixed_cost = std::stod(f[1]);
+          inst.vehicle_config.cost_per_km = std::stod(f[2]);
+          inst.vehicle_config.speed_kmph = std::stod(f[3]);
+          inst.vehicle_config.service_time_min = std::stod(f[4]);
+          break;
+        }
+        case Section::kVehicleDepots: {
+          if (f.size() != 1) return ParseError(line_no, "depot needs 1 field");
+          inst.vehicle_depots.push_back(std::stoi(f[0]));
+          break;
+        }
+        case Section::kOrders: {
+          if (f.size() != 6) return ParseError(line_no, "order needs 6 fields");
+          Order o;
+          o.id = std::stoi(f[0]);
+          o.pickup_node = std::stoi(f[1]);
+          o.delivery_node = std::stoi(f[2]);
+          o.quantity = std::stod(f[3]);
+          o.create_time_min = std::stod(f[4]);
+          o.latest_time_min = std::stod(f[5]);
+          inst.orders.push_back(o);
+          break;
+        }
+      }
+    } catch (const std::exception&) {
+      return ParseError(line_no, "malformed number in: " + line);
+    }
+  }
+
+  if (nodes.empty()) {
+    return Status::InvalidArgument("instance csv has no [nodes] section");
+  }
+  nn::Matrix d(static_cast<int>(nodes.size()),
+               static_cast<int>(nodes.size()));
+  for (const auto& [from, to, km] : distances) {
+    if (from < 0 || to < 0 || from >= d.rows() || to >= d.cols()) {
+      return Status::InvalidArgument("distance endpoint out of range");
+    }
+    d(from, to) = km;
+  }
+  DPDP_ASSIGN_OR_RETURN(RoadNetwork net,
+                        RoadNetwork::Create(std::move(nodes), std::move(d)));
+  inst.network = std::make_shared<RoadNetwork>(std::move(net));
+  CanonicalizeOrders(&inst.orders);
+  DPDP_RETURN_IF_ERROR(ValidateInstance(inst));
+  return inst;
+}
+
+Result<Instance> LoadInstanceCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  return LoadInstanceCsv(&file);
+}
+
+}  // namespace dpdp

@@ -1,0 +1,45 @@
+#ifndef DPDP_MODEL_INSTANCE_IO_H_
+#define DPDP_MODEL_INSTANCE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "model/instance.h"
+#include "util/result.h"
+
+namespace dpdp {
+
+/// Serializes an instance (network, fleet, config, orders) to a simple
+/// sectioned CSV text format, so generated workloads can be exported,
+/// versioned and re-imported (or produced by external tools):
+///
+///   [meta]
+///   name,num_time_intervals,horizon_minutes
+///   demo,144,1440
+///   [nodes]
+///   id,kind,x,y,name            # kind: depot | factory
+///   [distances]
+///   from,to,km                  # full matrix, row-major, diagonal omitted
+///   [vehicle_config]
+///   capacity,fixed_cost,cost_per_km,speed_kmph,service_time_min
+///   [vehicle_depots]
+///   depot_node                  # one line per vehicle
+///   [orders]
+///   id,pickup,delivery,quantity,create_min,latest_min
+///
+/// Lines starting with '#' and blank lines are ignored on load.
+void SaveInstanceCsv(const Instance& instance, std::ostream* os);
+
+/// Convenience: writes to `path`; fails on I/O errors.
+Status SaveInstanceCsvFile(const Instance& instance, const std::string& path);
+
+/// Parses an instance previously written by SaveInstanceCsv (or authored
+/// by hand in the same format). Validates the result before returning.
+Result<Instance> LoadInstanceCsv(std::istream* is);
+
+/// Convenience: reads from `path`.
+Result<Instance> LoadInstanceCsvFile(const std::string& path);
+
+}  // namespace dpdp
+
+#endif  // DPDP_MODEL_INSTANCE_IO_H_

@@ -1,0 +1,59 @@
+#include "model/order.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dpdp {
+
+int TimeIntervalIndex(double time_min, int num_intervals, double horizon_min) {
+  DPDP_CHECK(num_intervals > 0);
+  DPDP_CHECK(horizon_min > 0.0);
+  if (time_min < 0.0) return 0;
+  const int idx = static_cast<int>(time_min / horizon_min *
+                                   static_cast<double>(num_intervals));
+  return std::min(idx, num_intervals - 1);
+}
+
+std::string Order::DebugString() const {
+  std::ostringstream os;
+  os << "Order{id=" << id << ", pickup=" << pickup_node
+     << ", delivery=" << delivery_node << ", q=" << quantity
+     << ", t_c=" << create_time_min << ", t_l=" << latest_time_min << "}";
+  return os.str();
+}
+
+Status ValidateOrder(const Order& order, int num_nodes) {
+  if (order.pickup_node < 0 || order.pickup_node >= num_nodes ||
+      order.delivery_node < 0 || order.delivery_node >= num_nodes) {
+    return Status::InvalidArgument("order node out of range: " +
+                                   order.DebugString());
+  }
+  if (order.pickup_node == order.delivery_node) {
+    return Status::InvalidArgument("pickup equals delivery: " +
+                                   order.DebugString());
+  }
+  if (order.quantity <= 0.0) {
+    return Status::InvalidArgument("non-positive quantity: " +
+                                   order.DebugString());
+  }
+  if (order.latest_time_min <= order.create_time_min) {
+    return Status::InvalidArgument("empty time window: " +
+                                   order.DebugString());
+  }
+  return Status::OK();
+}
+
+void CanonicalizeOrders(std::vector<Order>* orders) {
+  std::stable_sort(orders->begin(), orders->end(),
+                   [](const Order& a, const Order& b) {
+                     if (a.create_time_min != b.create_time_min) {
+                       return a.create_time_min < b.create_time_min;
+                     }
+                     return a.id < b.id;
+                   });
+  for (size_t i = 0; i < orders->size(); ++i) {
+    (*orders)[i].id = static_cast<int>(i);
+  }
+}
+
+}  // namespace dpdp

@@ -1,0 +1,47 @@
+#ifndef DPDP_MODEL_ORDER_H_
+#define DPDP_MODEL_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpdp {
+
+/// All times in the library are minutes since midnight of the simulated day.
+inline constexpr double kMinutesPerDay = 1440.0;
+
+/// The paper's default time discretization: 144 ten-minute intervals.
+inline constexpr int kDefaultNumIntervals = 144;
+
+/// Maps a time (minutes) to its left-closed right-open interval index in
+/// [0, num_intervals); times past the horizon clamp to the last interval.
+int TimeIntervalIndex(double time_min, int num_intervals,
+                      double horizon_min = kMinutesPerDay);
+
+/// A delivery order o = (F_p, F_d, q, t_c, t_l): pick `quantity` units at
+/// `pickup_node` no earlier than `create_time_min` and deliver them to
+/// `delivery_node` no later than `latest_time_min`.
+struct Order {
+  int id = -1;
+  int pickup_node = -1;
+  int delivery_node = -1;
+  double quantity = 0.0;
+  double create_time_min = 0.0;
+  double latest_time_min = 0.0;
+
+  std::string DebugString() const;
+};
+
+/// Validates basic order sanity: distinct nodes, positive quantity and a
+/// non-empty time window.
+Status ValidateOrder(const Order& order, int num_nodes);
+
+/// Sorts orders in place by ascending creation time (ties broken by id) and
+/// re-numbers ids to be dense [0, n) in that order. The simulator and all
+/// dispatchers rely on this canonical ordering.
+void CanonicalizeOrders(std::vector<Order>* orders);
+
+}  // namespace dpdp
+
+#endif  // DPDP_MODEL_ORDER_H_

@@ -1,0 +1,14 @@
+#include "model/vehicle.h"
+
+#include <sstream>
+
+namespace dpdp {
+
+std::string Stop::DebugString() const {
+  std::ostringstream os;
+  os << (type == StopType::kPickup ? "P" : "D") << "(o" << order_id << "@n"
+     << node << ")";
+  return os.str();
+}
+
+}  // namespace dpdp

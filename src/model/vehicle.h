@@ -1,0 +1,47 @@
+#ifndef DPDP_MODEL_VEHICLE_H_
+#define DPDP_MODEL_VEHICLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dpdp {
+
+/// Shared configuration of the homogeneous fleet: conf = (w, Q, mu, delta)
+/// in the paper, plus the kinematic simplifications the paper makes
+/// (constant average speed, fixed per-stop service time).
+struct VehicleConfig {
+  double capacity = 100.0;        ///< Q — maximum loading capacity.
+  double fixed_cost = 200.0;      ///< mu — one-time cost of using a vehicle.
+  double cost_per_km = 2.0;       ///< delta — operation cost per kilometre.
+  double speed_kmph = 40.0;       ///< Constant average travel speed.
+  double service_time_min = 5.0;  ///< Loading/unloading time per stop.
+};
+
+/// Whether a stop loads or unloads cargo.
+enum class StopType { kPickup, kDelivery };
+
+/// One visit in a vehicle's route: serve `order_id` at `node`.
+struct Stop {
+  int node = -1;
+  int order_id = -1;
+  StopType type = StopType::kPickup;
+
+  bool operator==(const Stop& other) const {
+    return node == other.node && order_id == other.order_id &&
+           type == other.type;
+  }
+
+  std::string DebugString() const;
+};
+
+/// Planned timing of one stop: arrive, possibly wait (pickups cannot start
+/// before order creation), serve, depart.
+struct StopSchedule {
+  double arrival = 0.0;
+  double service_start = 0.0;
+  double departure = 0.0;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_MODEL_VEHICLE_H_

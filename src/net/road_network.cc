@@ -1,0 +1,72 @@
+#include "net/road_network.h"
+
+#include <cmath>
+
+namespace dpdp {
+
+RoadNetwork::RoadNetwork(std::vector<NodeInfo> nodes, nn::Matrix distances)
+    : nodes_(std::move(nodes)), distances_(std::move(distances)) {
+  factory_ordinal_.assign(nodes_.size(), -1);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].id = static_cast<int>(i);
+    if (nodes_[i].kind == NodeKind::kFactory) {
+      factory_ordinal_[i] = static_cast<int>(factory_ids_.size());
+      factory_ids_.push_back(static_cast<int>(i));
+    } else {
+      depot_ids_.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+Result<RoadNetwork> RoadNetwork::Create(std::vector<NodeInfo> nodes,
+                                        nn::Matrix distances) {
+  const int n = static_cast<int>(nodes.size());
+  if (n == 0) {
+    return Status::InvalidArgument("road network needs at least one node");
+  }
+  if (distances.rows() != n || distances.cols() != n) {
+    return Status::InvalidArgument("distance matrix shape mismatch");
+  }
+  for (int i = 0; i < n; ++i) {
+    if (distances(i, i) != 0.0) {
+      return Status::InvalidArgument("distance matrix diagonal must be zero");
+    }
+    for (int j = 0; j < n; ++j) {
+      if (distances(i, j) < 0.0 || !std::isfinite(distances(i, j))) {
+        return Status::InvalidArgument("distances must be finite and >= 0");
+      }
+    }
+  }
+  return RoadNetwork(std::move(nodes), std::move(distances));
+}
+
+RoadNetwork RoadNetwork::FromCoordinates(std::vector<NodeInfo> nodes,
+                                         double road_factor) {
+  DPDP_CHECK(road_factor >= 1.0);
+  const int n = static_cast<int>(nodes.size());
+  nn::Matrix d(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = nodes[i].x - nodes[j].x;
+      const double dy = nodes[i].y - nodes[j].y;
+      d(i, j) = road_factor * std::sqrt(dx * dx + dy * dy);
+    }
+  }
+  return RoadNetwork(std::move(nodes), std::move(d));
+}
+
+double RoadNetwork::TravelTimeMinutes(int i, int j, double speed_kmph) const {
+  DPDP_CHECK(speed_kmph > 0.0);
+  return Distance(i, j) / speed_kmph * 60.0;
+}
+
+double RoadNetwork::EuclideanDistance(int i, int j) const {
+  const NodeInfo& a = node(i);
+  const NodeInfo& b = node(j);
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace dpdp

@@ -1,0 +1,92 @@
+#ifndef DPDP_NET_ROAD_NETWORK_H_
+#define DPDP_NET_ROAD_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dpdp {
+
+/// Node classification in the campus graph.
+enum class NodeKind { kDepot, kFactory };
+
+/// A node of the road network: a depot or a factory with planar coordinates
+/// (kilometres) used for distance synthesis and vehicle proximity queries.
+struct NodeInfo {
+  int id = -1;
+  NodeKind kind = NodeKind::kFactory;
+  double x = 0.0;
+  double y = 0.0;
+  std::string name;
+};
+
+/// The complete directed road network G = (N, A) of the paper: depots plus
+/// factories with a full non-negative distance matrix d(i, j).
+///
+/// Nodes are identified by dense ids [0, num_nodes). Factories additionally
+/// have a dense "ordinal" in [0, num_factories) used to index the rows of
+/// spatial-temporal demand matrices.
+class RoadNetwork {
+ public:
+  /// Validates and builds a network from explicit distances. The matrix
+  /// must be num_nodes x num_nodes with zero diagonal and non-negative
+  /// entries (asymmetry is allowed — the graph is directed).
+  static Result<RoadNetwork> Create(std::vector<NodeInfo> nodes,
+                                    nn::Matrix distances);
+
+  /// Builds a network whose distances are Euclidean distances between node
+  /// coordinates scaled by `road_factor` (>= 1; models road circuity).
+  static RoadNetwork FromCoordinates(std::vector<NodeInfo> nodes,
+                                     double road_factor = 1.3);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_factories() const { return static_cast<int>(factory_ids_.size()); }
+  int num_depots() const { return static_cast<int>(depot_ids_.size()); }
+
+  const NodeInfo& node(int id) const {
+    DPDP_CHECK(id >= 0 && id < num_nodes());
+    return nodes_[id];
+  }
+
+  /// Transportation distance from node i to node j, in kilometres.
+  double Distance(int i, int j) const { return distances_(i, j); }
+
+  /// Travel time in minutes at constant `speed_kmph` (> 0).
+  double TravelTimeMinutes(int i, int j, double speed_kmph) const;
+
+  /// Euclidean distance between the coordinates of two nodes (used for
+  /// vehicle spatial proximity, not for routing).
+  double EuclideanDistance(int i, int j) const;
+
+  const std::vector<int>& factory_ids() const { return factory_ids_; }
+  const std::vector<int>& depot_ids() const { return depot_ids_; }
+
+  /// Dense factory index of `node_id` in [0, num_factories), or -1 when the
+  /// node is a depot.
+  int FactoryOrdinal(int node_id) const {
+    DPDP_CHECK(node_id >= 0 && node_id < num_nodes());
+    return factory_ordinal_[node_id];
+  }
+
+  /// Node id of the factory with the given ordinal.
+  int FactoryNode(int ordinal) const {
+    DPDP_CHECK(ordinal >= 0 && ordinal < num_factories());
+    return factory_ids_[ordinal];
+  }
+
+ private:
+  RoadNetwork(std::vector<NodeInfo> nodes, nn::Matrix distances);
+
+  std::vector<NodeInfo> nodes_;
+  nn::Matrix distances_;
+  std::vector<int> factory_ids_;
+  std::vector<int> depot_ids_;
+  std::vector<int> factory_ordinal_;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_NET_ROAD_NETWORK_H_

@@ -1,0 +1,130 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace dpdp::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads,
+                                               Rng* rng)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      d_head_(d_model / num_heads),
+      wq_(d_model, d_model, rng),
+      wk_(d_model, d_model, rng),
+      wv_(d_model, d_model, rng),
+      wo_(d_model, d_model, rng) {
+  DPDP_CHECK(num_heads > 0);
+  DPDP_CHECK(d_model % num_heads == 0);
+}
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& x, const Matrix& mask) {
+  const int n = x.rows();
+  DPDP_CHECK(x.cols() == d_model_);
+  DPDP_CHECK(mask.rows() == n && mask.cols() == n);
+
+  mask_ = mask;
+  q_ = wq_.Forward(x);
+  k_ = wk_.Forward(x);
+  v_ = wv_.Forward(x);
+
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+  attn_.assign(num_heads_, Matrix(n, n));
+  concat_ = Matrix(n, d_model_);
+
+  for (int h = 0; h < num_heads_; ++h) {
+    const int off = h * d_head_;
+    Matrix& a = attn_[h];
+    for (int i = 0; i < n; ++i) {
+      // Masked, numerically-stabilized softmax over allowed positions.
+      double mx = -1e300;
+      for (int j = 0; j < n; ++j) {
+        if (mask(i, j) == 0.0) continue;
+        double s = 0.0;
+        for (int c = 0; c < d_head_; ++c) {
+          s += q_(i, off + c) * k_(j, off + c);
+        }
+        s *= scale;
+        a(i, j) = s;
+        mx = std::max(mx, s);
+      }
+      DPDP_CHECK(mx > -1e299);  // Every row must attend to something.
+      double denom = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (mask(i, j) == 0.0) {
+          a(i, j) = 0.0;
+        } else {
+          a(i, j) = std::exp(a(i, j) - mx);
+          denom += a(i, j);
+        }
+      }
+      for (int j = 0; j < n; ++j) a(i, j) /= denom;
+      // Weighted sum of values for this head.
+      for (int j = 0; j < n; ++j) {
+        const double w = a(i, j);
+        if (w == 0.0) continue;
+        for (int c = 0; c < d_head_; ++c) {
+          concat_(i, off + c) += w * v_(j, off + c);
+        }
+      }
+    }
+  }
+  return wo_.Forward(concat_);
+}
+
+Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
+  const int n = dy.rows();
+  DPDP_CHECK(dy.cols() == d_model_);
+  DPDP_CHECK(!attn_.empty());
+
+  const Matrix dconcat = wo_.Backward(dy);
+
+  Matrix dq(n, d_model_);
+  Matrix dk(n, d_model_);
+  Matrix dv(n, d_model_);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
+
+  for (int h = 0; h < num_heads_; ++h) {
+    const int off = h * d_head_;
+    const Matrix& a = attn_[h];
+    for (int i = 0; i < n; ++i) {
+      // dA(i, j) = dconcat(i, head) . V(j, head); dV += A^T dconcat.
+      std::vector<double> da(n, 0.0);
+      for (int j = 0; j < n; ++j) {
+        if (mask_(i, j) == 0.0) continue;
+        double s = 0.0;
+        for (int c = 0; c < d_head_; ++c) {
+          s += dconcat(i, off + c) * v_(j, off + c);
+          dv(j, off + c) += a(i, j) * dconcat(i, off + c);
+        }
+        da[j] = s;
+      }
+      // Softmax backward: dS = A .* (dA - sum_j dA_j A_j).
+      double dot = 0.0;
+      for (int j = 0; j < n; ++j) dot += da[j] * a(i, j);
+      for (int j = 0; j < n; ++j) {
+        if (mask_(i, j) == 0.0) continue;
+        const double ds = a(i, j) * (da[j] - dot) * scale;
+        if (ds == 0.0) continue;
+        for (int c = 0; c < d_head_; ++c) {
+          dq(i, off + c) += ds * k_(j, off + c);
+          dk(j, off + c) += ds * q_(i, off + c);
+        }
+      }
+    }
+  }
+
+  Matrix dx = wq_.Backward(dq);
+  dx.AddInPlace(wk_.Backward(dk));
+  dx.AddInPlace(wv_.Backward(dv));
+  return dx;
+}
+
+std::vector<Parameter*> MultiHeadSelfAttention::Params() {
+  std::vector<Parameter*> out;
+  for (Linear* l : {&wq_, &wk_, &wv_, &wo_}) {
+    for (Parameter* p : l->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace dpdp::nn

@@ -1,0 +1,66 @@
+#ifndef DPDP_NN_ATTENTION_H_
+#define DPDP_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace dpdp::nn {
+
+/// Masked multi-head scaled dot-product self-attention (Vaswani et al.),
+/// the "neighborhood attention" block of ST-DDGN (paper Fig. 5).
+///
+/// Each vehicle is a row of the input feature matrix X (K x d_model). The
+/// adjacency mask (K x K, entries in {0,1}) restricts which vehicles each
+/// row may attend to; row k of the mask is the one-hot neighbor selection
+/// of vehicle k (its NE nearest vehicles plus itself). The product of the
+/// feature matrix with this selection is exactly the paper's "relational
+/// feature"; attention then mixes the selected rows, and a final dense
+/// projection produces the higher-level representation.
+///
+/// Forward/Backward alternate strictly: Backward consumes the caches of the
+/// immediately preceding Forward.
+class MultiHeadSelfAttention {
+ public:
+  /// d_model must be divisible by num_heads.
+  MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng);
+
+  /// X: (K x d_model); mask: (K x K) with mask(i, j) = 1 iff row i may
+  /// attend to row j. Every row must allow at least one position (ensure
+  /// the diagonal is set). Returns (K x d_model).
+  Matrix Forward(const Matrix& x, const Matrix& mask);
+
+  /// dY: (K x d_model) -> dX (K x d_model); accumulates parameter grads.
+  Matrix Backward(const Matrix& dy);
+
+  std::vector<Parameter*> Params();
+
+  int d_model() const { return d_model_; }
+  int num_heads() const { return num_heads_; }
+
+  /// Attention weights of the last Forward, one (K x K) matrix per head
+  /// (for diagnostics / tests).
+  const std::vector<Matrix>& last_attention_weights() const { return attn_; }
+
+ private:
+  int d_model_;
+  int num_heads_;
+  int d_head_;
+
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+
+  // Forward caches.
+  Matrix mask_;
+  Matrix q_, k_, v_;           // (K x d_model) projected inputs.
+  std::vector<Matrix> attn_;   // Per-head (K x K) softmax weights.
+  Matrix concat_;              // (K x d_model) pre-output concat.
+};
+
+}  // namespace dpdp::nn
+
+#endif  // DPDP_NN_ATTENTION_H_

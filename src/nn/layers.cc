@@ -1,0 +1,197 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace dpdp::nn {
+
+void CopyParameters(const std::vector<Parameter*>& src,
+                    const std::vector<Parameter*>& dst) {
+  DPDP_CHECK(src.size() == dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    DPDP_CHECK(src[i]->value.rows() == dst[i]->value.rows());
+    DPDP_CHECK(src[i]->value.cols() == dst[i]->value.cols());
+    dst[i]->value = src[i]->value;
+  }
+}
+
+void SoftUpdateParameters(const std::vector<Parameter*>& src,
+                          const std::vector<Parameter*>& dst, double tau) {
+  DPDP_CHECK(src.size() == dst.size());
+  DPDP_CHECK(tau >= 0.0 && tau <= 1.0);
+  for (size_t i = 0; i < src.size(); ++i) {
+    Matrix& d = dst[i]->value;
+    const Matrix& s = src[i]->value;
+    DPDP_CHECK(d.rows() == s.rows() && d.cols() == s.cols());
+    for (int r = 0; r < d.rows(); ++r) {
+      for (int c = 0; c < d.cols(); ++c) {
+        d(r, c) = (1.0 - tau) * d(r, c) + tau * s(r, c);
+      }
+    }
+  }
+}
+
+void SaveParameters(const std::vector<Parameter*>& params, std::ostream* os) {
+  const uint64_t n = params.size();
+  os->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Parameter* p : params) {
+    const int32_t rows = p->value.rows();
+    const int32_t cols = p->value.cols();
+    os->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    os->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    os->write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(sizeof(double)) * p->value.size());
+  }
+}
+
+bool LoadParameters(std::istream* is, const std::vector<Parameter*>& params) {
+  uint64_t n = 0;
+  is->read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!*is || n != params.size()) return false;
+  for (Parameter* p : params) {
+    int32_t rows = 0;
+    int32_t cols = 0;
+    is->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    is->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!*is || rows != p->value.rows() || cols != p->value.cols()) {
+      return false;
+    }
+    is->read(reinterpret_cast<char*>(p->value.data()),
+             static_cast<std::streamsize>(sizeof(double)) * p->value.size());
+    if (!*is) return false;
+  }
+  return true;
+}
+
+namespace {
+Matrix HeInit(int in_dim, int out_dim, Rng* rng) {
+  Matrix w(in_dim, out_dim);
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_dim));
+  for (int r = 0; r < in_dim; ++r) {
+    for (int c = 0; c < out_dim; ++c) w(r, c) = rng->Normal(0.0, scale);
+  }
+  return w;
+}
+}  // namespace
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng)
+    : w_(HeInit(in_dim, out_dim, rng)), b_(Matrix(1, out_dim)) {}
+
+Matrix Linear::Forward(const Matrix& x) {
+  DPDP_CHECK(x.cols() == w_.value.rows());
+  cached_x_ = x;
+  return x.MatMul(w_.value).AddRowBroadcast(b_.value);
+}
+
+Matrix Linear::Backward(const Matrix& dy) {
+  DPDP_CHECK(dy.rows() == cached_x_.rows());
+  DPDP_CHECK(dy.cols() == w_.value.cols());
+  w_.grad.AddInPlace(cached_x_.TransposedMatMul(dy));
+  b_.grad.AddInPlace(dy.SumRows());
+  return dy.MatMulTransposed(w_.value);
+}
+
+std::vector<Parameter*> Linear::Params() { return {&w_, &b_}; }
+
+Matrix ReLU::Forward(const Matrix& x) {
+  cached_mask_ = Matrix(x.rows(), x.cols());
+  Matrix y(x.rows(), x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) {
+      if (x(r, c) > 0.0) {
+        y(r, c) = x(r, c);
+        cached_mask_(r, c) = 1.0;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix ReLU::Backward(const Matrix& dy) const {
+  return dy.Hadamard(cached_mask_);
+}
+
+Matrix Tanh::Forward(const Matrix& x) {
+  cached_y_ = Matrix(x.rows(), x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) cached_y_(r, c) = std::tanh(x(r, c));
+  }
+  return cached_y_;
+}
+
+Matrix Tanh::Backward(const Matrix& dy) const {
+  Matrix dx(dy.rows(), dy.cols());
+  for (int r = 0; r < dy.rows(); ++r) {
+    for (int c = 0; c < dy.cols(); ++c) {
+      dx(r, c) = dy(r, c) * (1.0 - cached_y_(r, c) * cached_y_(r, c));
+    }
+  }
+  return dx;
+}
+
+Mlp::Mlp(const std::vector<int>& dims, Activation hidden_activation, Rng* rng)
+    : activation_(hidden_activation) {
+  DPDP_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    linears_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+  // One activation per hidden layer (the output layer stays linear).
+  const size_t hidden = linears_.size() - 1;
+  relus_.resize(hidden);
+  tanhs_.resize(hidden);
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  Matrix h = x;
+  for (size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i].Forward(h);
+    if (i + 1 < linears_.size()) {
+      switch (activation_) {
+        case Activation::kReLU:
+          h = relus_[i].Forward(h);
+          break;
+        case Activation::kTanh:
+          h = tanhs_[i].Forward(h);
+          break;
+        case Activation::kIdentity:
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+Matrix Mlp::Backward(const Matrix& dy) {
+  Matrix d = dy;
+  for (size_t i = linears_.size(); i-- > 0;) {
+    if (i + 1 < linears_.size()) {
+      switch (activation_) {
+        case Activation::kReLU:
+          d = relus_[i].Backward(d);
+          break;
+        case Activation::kTanh:
+          d = tanhs_[i].Backward(d);
+          break;
+        case Activation::kIdentity:
+          break;
+      }
+    }
+    d = linears_[i].Backward(d);
+  }
+  return d;
+}
+
+std::vector<Parameter*> Mlp::Params() {
+  std::vector<Parameter*> out;
+  for (Linear& l : linears_) {
+    for (Parameter* p : l.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+int Mlp::in_dim() const { return linears_.front().in_dim(); }
+int Mlp::out_dim() const { return linears_.back().out_dim(); }
+
+}  // namespace dpdp::nn

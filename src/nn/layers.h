@@ -1,0 +1,111 @@
+#ifndef DPDP_NN_LAYERS_H_
+#define DPDP_NN_LAYERS_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace dpdp::nn {
+
+/// A trainable tensor: value plus accumulated gradient of identical shape.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  explicit Parameter(Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+/// Copies all parameter values from `src` to `dst` (same shapes required).
+/// Used to sync DDQN target networks.
+void CopyParameters(const std::vector<Parameter*>& src,
+                    const std::vector<Parameter*>& dst);
+
+/// Polyak averaging: dst <- (1 - tau) * dst + tau * src.
+void SoftUpdateParameters(const std::vector<Parameter*>& src,
+                          const std::vector<Parameter*>& dst, double tau);
+
+/// Serializes parameter values (shapes + doubles, little-endian binary).
+void SaveParameters(const std::vector<Parameter*>& params, std::ostream* os);
+
+/// Restores values saved by SaveParameters; shapes must match exactly.
+/// Returns false on malformed input or shape mismatch.
+bool LoadParameters(std::istream* is, const std::vector<Parameter*>& params);
+
+/// Fully-connected layer y = x W + b with cached input for backprop.
+/// Weights use He initialization (suited to the ReLU nets in this project).
+///
+/// Forward/Backward must be called in strict alternation: each Backward
+/// consumes the cache left by the immediately preceding Forward.
+class Linear {
+ public:
+  Linear(int in_dim, int out_dim, Rng* rng);
+
+  /// x: (batch x in_dim) -> (batch x out_dim).
+  Matrix Forward(const Matrix& x);
+
+  /// dy: (batch x out_dim) -> dx (batch x in_dim); accumulates dW, db.
+  Matrix Backward(const Matrix& dy);
+
+  std::vector<Parameter*> Params();
+
+  int in_dim() const { return w_.value.rows(); }
+  int out_dim() const { return w_.value.cols(); }
+
+ private:
+  Parameter w_;  ///< (in_dim x out_dim)
+  Parameter b_;  ///< (1 x out_dim)
+  Matrix cached_x_;
+};
+
+/// Supported nonlinearities for MLP hidden layers.
+enum class Activation { kReLU, kTanh, kIdentity };
+
+/// ReLU with cached activation mask.
+class ReLU {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy) const;
+
+ private:
+  Matrix cached_mask_;
+};
+
+/// Tanh with cached output.
+class Tanh {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy) const;
+
+ private:
+  Matrix cached_y_;
+};
+
+/// Multi-layer perceptron: Linear layers with a shared hidden activation
+/// and an identity output layer. `dims` = {in, h1, ..., out}.
+class Mlp {
+ public:
+  Mlp(const std::vector<int>& dims, Activation hidden_activation, Rng* rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+
+  std::vector<Parameter*> Params();
+
+  int in_dim() const;
+  int out_dim() const;
+
+ private:
+  Activation activation_;
+  std::vector<Linear> linears_;
+  std::vector<ReLU> relus_;
+  std::vector<Tanh> tanhs_;
+};
+
+}  // namespace dpdp::nn
+
+#endif  // DPDP_NN_LAYERS_H_

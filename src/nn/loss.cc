@@ -1,0 +1,30 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace dpdp::nn {
+
+double MseLoss(double pred, double target) {
+  const double d = pred - target;
+  return 0.5 * d * d;
+}
+
+double MseLossGrad(double pred, double target) { return pred - target; }
+
+double HuberLoss(double pred, double target, double delta) {
+  DPDP_CHECK(delta > 0.0);
+  const double d = std::abs(pred - target);
+  if (d <= delta) return 0.5 * d * d;
+  return delta * (d - 0.5 * delta);
+}
+
+double HuberLossGrad(double pred, double target, double delta) {
+  DPDP_CHECK(delta > 0.0);
+  const double d = pred - target;
+  if (std::abs(d) <= delta) return d;
+  return d > 0.0 ? delta : -delta;
+}
+
+}  // namespace dpdp::nn

@@ -1,0 +1,22 @@
+#ifndef DPDP_NN_LOSS_H_
+#define DPDP_NN_LOSS_H_
+
+namespace dpdp::nn {
+
+/// Scalar loss utilities. TD targets in this project are scalars (the
+/// Q-value of one chosen action), so these operate on doubles; the caller
+/// scatters the returned derivative into the network's output gradient.
+
+/// 0.5 * (pred - target)^2.
+double MseLoss(double pred, double target);
+/// d/dpred of MseLoss.
+double MseLossGrad(double pred, double target);
+
+/// Huber (smooth-L1) loss with threshold `delta` (> 0).
+double HuberLoss(double pred, double target, double delta = 1.0);
+/// d/dpred of HuberLoss.
+double HuberLossGrad(double pred, double target, double delta = 1.0);
+
+}  // namespace dpdp::nn
+
+#endif  // DPDP_NN_LOSS_H_

@@ -1,0 +1,231 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dpdp::nn {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+  DPDP_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows_; ++r) {
+    DPDP_CHECK(rows[r].size() == rows[0].size());
+    for (int c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  DPDP_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() +
+                           static_cast<size_t>(k) * other.cols_;
+      double* orow = out.data_.data() + static_cast<size_t>(i) * out.cols_;
+      for (int j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  DPDP_CHECK(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + static_cast<size_t>(i) * cols_;
+    for (int j = 0; j < other.rows_; ++j) {
+      const double* brow = other.data_.data() +
+                           static_cast<size_t>(j) * other.cols_;
+      double s = 0.0;
+      for (int k = 0; k < cols_; ++k) s += arow[k] * brow[k];
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  DPDP_CHECK(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (int k = 0; k < rows_; ++k) {
+    const double* arow = data_.data() + static_cast<size_t>(k) * cols_;
+    const double* brow = other.data_.data() +
+                         static_cast<size_t>(k) * other.cols_;
+    for (int i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      double* orow = out.data_.data() + static_cast<size_t>(i) * out.cols_;
+      for (int j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  out.AddInPlace(other);
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= factor;
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, double factor) {
+  DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += factor * other.data_[i];
+  }
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  DPDP_CHECK(row.rows_ == 1 && row.cols_ == cols_);
+  Matrix out = *this;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out(r, c) += row(0, c);
+  }
+  return out;
+}
+
+Matrix Matrix::SumRows() const {
+  Matrix out(1, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) out(0, c) += (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Row(int r) const {
+  DPDP_CHECK(r >= 0 && r < rows_);
+  Matrix out(1, cols_);
+  for (int c = 0; c < cols_; ++c) out(0, c) = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(int r, const Matrix& row) {
+  DPDP_CHECK(r >= 0 && r < rows_);
+  DPDP_CHECK(row.rows_ == 1 && row.cols_ == cols_);
+  for (int c = 0; c < cols_; ++c) (*this)(r, c) = row(0, c);
+}
+
+Matrix Matrix::SoftmaxRows() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    double mx = -1e300;
+    for (int c = 0; c < cols_; ++c) mx = std::max(mx, (*this)(r, c));
+    double denom = 0.0;
+    for (int c = 0; c < cols_; ++c) {
+      out(r, c) = std::exp((*this)(r, c) - mx);
+      denom += out(r, c);
+    }
+    DPDP_CHECK(denom > 0.0);
+    for (int c = 0; c < cols_; ++c) out(r, c) /= denom;
+  }
+  return out;
+}
+
+double Matrix::SumAll() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::MaxAll() const {
+  DPDP_CHECK(!data_.empty());
+  double m = data_[0];
+  for (double v : data_) m = std::max(m, v);
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::FrobeniusDistance(const Matrix& other) const {
+  DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double s = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::DebugString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  for (int r = 0; r < std::min(rows_, max_rows); ++r) {
+    os << (r ? ", [" : "[");
+    for (int c = 0; c < std::min(cols_, max_cols); ++c) {
+      if (c) os << ", ";
+      os << (*this)(r, c);
+    }
+    if (cols_ > max_cols) os << ", ...";
+    os << "]";
+  }
+  if (rows_ > max_rows) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dpdp::nn

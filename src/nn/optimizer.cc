@@ -1,0 +1,79 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace dpdp::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  DPDP_CHECK(!params_.empty());
+}
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  if (max_norm <= 0.0) return;
+  double sq = 0.0;
+  for (const Parameter* p : params_) {
+    const double n = p->grad.FrobeniusNorm();
+    sq += n * n;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double factor = max_norm / norm;
+  for (Parameter* p : params_) p->grad = p->grad.Scale(factor);
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double clip_norm)
+    : Optimizer(std::move(params)), lr_(lr), clip_norm_(clip_norm) {}
+
+void Sgd::Step() {
+  ClipGradNorm(clip_norm_);
+  for (Parameter* p : params_) {
+    p->value.AddScaled(p->grad, -lr_);
+    p->ZeroGrad();
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps, double clip_norm)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      clip_norm_(clip_norm) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ClipGradNorm(clip_norm_);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) {
+        const double g = p->grad(r, c);
+        m(r, c) = beta1_ * m(r, c) + (1.0 - beta1_) * g;
+        v(r, c) = beta2_ * v(r, c) + (1.0 - beta2_) * g * g;
+        const double mhat = m(r, c) / bc1;
+        const double vhat = v(r, c) / bc2;
+        p->value(r, c) -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace dpdp::nn

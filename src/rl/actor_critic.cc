@@ -1,0 +1,158 @@
+#include "rl/actor_critic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpdp {
+
+ActorCriticAgent::ActorCriticAgent(const AgentConfig& config,
+                                   std::string name)
+    : config_(config), name_(std::move(name)), rng_(config.seed) {
+  Rng actor_rng = rng_.Fork();
+  actor_ = MakeQNetwork(config_, &actor_rng);
+  Rng critic_rng = rng_.Fork();
+  critic_ = MakeQNetwork(config_, &critic_rng);
+  actor_opt_ = std::make_unique<nn::Adam>(actor_->Params(),
+                                          config_.learning_rate, 0.9, 0.999,
+                                          1e-8, config_.grad_clip_norm);
+  critic_opt_ = std::make_unique<nn::Adam>(critic_->Params(),
+                                           config_.learning_rate, 0.9,
+                                           0.999, 1e-8,
+                                           config_.grad_clip_norm);
+}
+
+double ActorCriticAgent::InstantReward(const DispatchContext& context,
+                                       int chosen) const {
+  const VehicleOption& opt = context.options[chosen];
+  const VehicleConfig& cfg = context.instance->vehicle_config;
+  const double fixed_flag = config_.literal_used_flag_cost
+                                ? (opt.used ? 1.0 : 0.0)
+                                : (opt.used ? 0.0 : 1.0);
+  return -config_.reward_alpha *
+         (cfg.fixed_cost * fixed_flag +
+          cfg.cost_per_km * opt.incremental_length);
+}
+
+std::vector<double> ActorCriticAgent::PolicyOnSubFleet(
+    const SubFleetInputs& in) {
+  const std::vector<double> logits =
+      actor_->Forward(in.features, in.adjacency);
+  std::vector<double> pi(logits.size());
+  double mx = -1e300;
+  for (double l : logits) mx = std::max(mx, l);
+  double denom = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    pi[i] = std::exp(logits[i] - mx);
+    denom += pi[i];
+  }
+  for (double& p : pi) p /= denom;
+  return pi;
+}
+
+int ActorCriticAgent::ChooseVehicle(const DispatchContext& context) {
+  const FleetState state = BuildFleetState(context, config_);
+  const std::vector<int> idx = state.FeasibleIndices();
+  DPDP_CHECK(!idx.empty());
+  const SubFleetInputs in = BuildSubFleetInputs(
+      state, idx, config_.use_graph, config_.num_neighbors);
+  const std::vector<double> pi = PolicyOnSubFleet(in);
+
+  int sub_action = 0;
+  if (training_) {
+    sub_action = rng_.Categorical(pi);
+  } else {
+    for (size_t i = 1; i < pi.size(); ++i) {
+      if (pi[i] > pi[sub_action]) sub_action = static_cast<int>(i);
+    }
+  }
+  const int action = idx[sub_action];
+  if (training_) {
+    episode_.push_back({StoredFleetState::FromFleetState(state), action,
+                        InstantReward(context, action)});
+  }
+  return action;
+}
+
+void ActorCriticAgent::OnEpisodeEnd(const EpisodeResult& result) {
+  (void)result;
+  if (!training_ || episode_.empty()) return;
+  TrainEpisode();
+  episode_.clear();
+  ++episodes_trained_;
+}
+
+void ActorCriticAgent::TrainEpisode() {
+  const size_t n = episode_.size();
+  // Eq. (7)/(8): fold the episode-mean instant reward into every step.
+  double mean_reward = 0.0;
+  for (const EpisodeStep& s : episode_) mean_reward += s.instant_reward;
+  mean_reward /= static_cast<double>(n);
+
+  // Discounted returns over the folded rewards.
+  std::vector<double> returns(n);
+  double g = 0.0;
+  for (size_t i = n; i-- > 0;) {
+    g = (episode_[i].instant_reward + mean_reward) + config_.gamma * g;
+    returns[i] = g;
+  }
+
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const FleetState state = episode_[i].state.ToFleetState();
+    const std::vector<int> idx = state.FeasibleIndices();
+    const auto it = std::find(idx.begin(), idx.end(), episode_[i].action);
+    DPDP_CHECK(it != idx.end());
+    const int sub_action = static_cast<int>(it - idx.begin());
+    const SubFleetInputs in = BuildSubFleetInputs(
+        state, idx, config_.use_graph, config_.num_neighbors);
+    const int m = static_cast<int>(idx.size());
+
+    // Critic: V = mean of per-vehicle values over the feasible sub-fleet.
+    const std::vector<double> values =
+        critic_->Forward(in.features, in.adjacency);
+    double v = 0.0;
+    for (double x : values) v += x;
+    v /= static_cast<double>(m);
+    const double advantage = returns[i] - v;
+
+    // Value gradient: d/dv_r of 0.5 (V - G)^2 = (V - G) / m.
+    std::vector<double> dvalues(m);
+    for (int r = 0; r < m; ++r) {
+      dvalues[r] = (v - returns[i]) / static_cast<double>(m) * inv_n;
+    }
+    critic_->Backward(dvalues);
+    value_loss += 0.5 * advantage * advantage;
+
+    // Actor gradient: d/dlogits of -log pi(a) * A = (pi - onehot_a) * A.
+    const std::vector<double> pi = PolicyOnSubFleet(in);
+    std::vector<double> dlogits(m);
+    for (int r = 0; r < m; ++r) {
+      const double onehot = (r == sub_action) ? 1.0 : 0.0;
+      dlogits[r] = (pi[r] - onehot) * advantage * inv_n;
+    }
+    actor_->Backward(dlogits);
+    policy_loss += -std::log(std::max(pi[sub_action], 1e-12)) * advantage;
+  }
+
+  critic_opt_->Step();
+  actor_opt_->Step();
+  last_policy_loss_ = policy_loss * inv_n;
+  last_value_loss_ = value_loss * inv_n;
+}
+
+std::vector<double> ActorCriticAgent::Policy(const DispatchContext& context) {
+  const FleetState state = BuildFleetState(context, config_);
+  const std::vector<int> idx = state.FeasibleIndices();
+  std::vector<double> out(context.options.size(), 0.0);
+  if (idx.empty()) return out;
+  const SubFleetInputs in = BuildSubFleetInputs(
+      state, idx, config_.use_graph, config_.num_neighbors);
+  const std::vector<double> pi = PolicyOnSubFleet(in);
+  for (size_t i = 0; i < idx.size(); ++i) out[idx[i]] = pi[i];
+  return out;
+}
+
+}  // namespace dpdp

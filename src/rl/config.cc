@@ -1,0 +1,59 @@
+#include "rl/config.h"
+
+namespace dpdp {
+
+AgentConfig MakeDqnConfig(uint64_t seed) {
+  AgentConfig c;
+  c.use_graph = false;
+  c.use_st_score = false;
+  c.double_dqn = false;
+  c.seed = seed;
+  return c;
+}
+
+AgentConfig MakeDdqnConfig(uint64_t seed) {
+  AgentConfig c;
+  c.use_graph = false;
+  c.use_st_score = false;
+  c.double_dqn = true;
+  c.seed = seed;
+  return c;
+}
+
+AgentConfig MakeStDdqnConfig(uint64_t seed) {
+  AgentConfig c;
+  c.use_graph = false;
+  c.use_st_score = true;
+  c.double_dqn = true;
+  c.seed = seed;
+  return c;
+}
+
+AgentConfig MakeDgnConfig(uint64_t seed) {
+  AgentConfig c;
+  c.use_graph = true;
+  c.use_st_score = false;
+  c.double_dqn = false;
+  c.seed = seed;
+  return c;
+}
+
+AgentConfig MakeDdgnConfig(uint64_t seed) {
+  AgentConfig c;
+  c.use_graph = true;
+  c.use_st_score = false;
+  c.double_dqn = true;
+  c.seed = seed;
+  return c;
+}
+
+AgentConfig MakeStDdgnConfig(uint64_t seed) {
+  AgentConfig c;
+  c.use_graph = true;
+  c.use_st_score = true;
+  c.double_dqn = true;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace dpdp

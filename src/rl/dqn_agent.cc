@@ -1,0 +1,250 @@
+#include "rl/dqn_agent.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "nn/loss.h"
+
+namespace dpdp {
+
+DqnFleetAgent::DqnFleetAgent(const AgentConfig& config, std::string name)
+    : config_(config),
+      name_(std::move(name)),
+      rng_(config.seed),
+      replay_(config.replay_capacity),
+      epsilon_(config.epsilon_start) {
+  Rng net_rng = rng_.Fork();
+  online_ = MakeQNetwork(config_, &net_rng);
+  // The target net gets its own init then an immediate weight sync so both
+  // start identical.
+  Rng target_rng = rng_.Fork();
+  target_ = MakeQNetwork(config_, &target_rng);
+  nn::CopyParameters(online_->Params(), target_->Params());
+  optimizer_ = std::make_unique<nn::Adam>(online_->Params(),
+                                          config_.learning_rate, 0.9, 0.999,
+                                          1e-8, config_.grad_clip_norm);
+}
+
+double DqnFleetAgent::InstantReward(const DispatchContext& context,
+                                    int chosen) const {
+  const VehicleOption& opt = context.options[chosen];
+  const VehicleConfig& cfg = context.instance->vehicle_config;
+  // Eq. (6). The paper's text charges mu * f; the evident intent (and the
+  // default here) charges the fixed cost when a *fresh* vehicle is used.
+  const double fixed_flag = config_.literal_used_flag_cost
+                                ? (opt.used ? 1.0 : 0.0)
+                                : (opt.used ? 0.0 : 1.0);
+  return -config_.reward_alpha *
+         (cfg.fixed_cost * fixed_flag +
+          cfg.cost_per_km * opt.incremental_length);
+}
+
+std::vector<int> DqnFleetAgent::InferenceIndices(
+    const FleetState& state) const {
+  if (config_.use_constraint_embedding) return state.FeasibleIndices();
+  std::vector<int> all(state.num_vehicles());
+  for (int v = 0; v < state.num_vehicles(); ++v) all[v] = v;
+  return all;
+}
+
+std::vector<double> DqnFleetAgent::SubFleetQ(const FleetState& state,
+                                             FleetQNetwork* net,
+                                             const std::vector<int>& idx) {
+  const SubFleetInputs in = BuildSubFleetInputs(
+      state, idx, config_.use_graph, config_.num_neighbors);
+  return net->Forward(in.features, in.adjacency);
+}
+
+int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
+  const FleetState state = BuildFleetState(context, config_);
+  const std::vector<int> feasible = state.FeasibleIndices();
+  DPDP_CHECK(!feasible.empty());
+
+  int action = -1;
+  if (training_ && rng_.Bernoulli(epsilon_)) {
+    action = feasible[rng_.UniformInt(static_cast<int>(feasible.size()))];
+  } else {
+    const std::vector<int> idx = InferenceIndices(state);
+    const std::vector<double> q = SubFleetQ(state, online_.get(), idx);
+    // Argmax restricted to feasible vehicles (infeasible ones keep the
+    // paper's "extremely small negative" Q).
+    int best = -1;
+    double best_q = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (!state.feasible[idx[i]]) continue;
+      if (q[i] > best_q) {
+        best_q = q[i];
+        best = idx[i];
+      }
+    }
+    DPDP_CHECK(best >= 0);
+    action = best;
+  }
+
+  if (training_) {
+    StoredFleetState stored = StoredFleetState::FromFleetState(state);
+    if (pending_.active) {
+      episode_.push_back({std::move(pending_.state), pending_.action,
+                          pending_.instant_reward, stored,
+                          /*terminal=*/false});
+    }
+    pending_.state = std::move(stored);
+    pending_.action = action;
+    pending_.instant_reward = InstantReward(context, action);
+    pending_.active = true;
+  }
+  return action;
+}
+
+void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
+  if (!training_) return;
+  if (config_.track_best_weights &&
+      epsilon_ <= config_.best_weights_max_epsilon &&
+      (best_weights_.empty() || result.total_cost < best_episode_cost_)) {
+    best_episode_cost_ = result.total_cost;
+    best_weights_.clear();
+    for (const nn::Parameter* p : online_->Params()) {
+      best_weights_.push_back(p->value);
+    }
+  }
+  if (pending_.active) {
+    episode_.push_back({std::move(pending_.state), pending_.action,
+                        pending_.instant_reward, StoredFleetState{},
+                        /*terminal=*/true});
+    pending_.active = false;
+  }
+  if (episode_.empty()) return;
+
+  // Long-term reward (Eq. 7): the episode-mean instant reward, folded into
+  // every transition (Eq. 8).
+  const size_t episode_transitions = episode_.size();
+  double mean_reward = 0.0;
+  for (const EpisodeStep& s : episode_) mean_reward += s.instant_reward;
+  mean_reward /= static_cast<double>(episode_.size());
+  for (EpisodeStep& s : episode_) {
+    Transition t;
+    t.state = std::move(s.state);
+    t.action = s.action;
+    t.reward = static_cast<float>(s.instant_reward + mean_reward);
+    t.terminal = s.terminal;
+    t.next_state = std::move(s.next_state);
+    replay_.Add(std::move(t));
+  }
+  episode_.clear();
+
+  if (replay_.size() >= config_.batch_size) {
+    int updates = config_.updates_per_episode;
+    if (config_.scale_updates_with_episode) {
+      updates = std::max(updates,
+                         static_cast<int>(episode_transitions /
+                                          std::max(1, config_.batch_size)));
+    }
+    for (int u = 0; u < updates; ++u) TrainBatch();
+  }
+
+  ++episodes_trained_;
+  const double frac = std::min(
+      1.0, static_cast<double>(episodes_trained_) /
+               std::max(1, config_.epsilon_decay_episodes));
+  epsilon_ = config_.epsilon_start +
+             frac * (config_.epsilon_end - config_.epsilon_start);
+  if (episodes_trained_ % config_.target_sync_episodes == 0) {
+    nn::CopyParameters(online_->Params(), target_->Params());
+  }
+}
+
+void DqnFleetAgent::TrainBatch() {
+  const std::vector<const Transition*> batch =
+      replay_.Sample(config_.batch_size, &rng_);
+  double loss_sum = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+
+  for (const Transition* t : batch) {
+    // --- TD target -------------------------------------------------------
+    double y = t->reward;
+    if (!t->terminal && !t->next_state.empty()) {
+      const FleetState next = t->next_state.ToFleetState();
+      if (next.NumFeasible() > 0) {
+        const std::vector<int> next_idx = InferenceIndices(next);
+        auto feasible_max = [&](const std::vector<double>& q) {
+          int best = -1;
+          double best_q = -std::numeric_limits<double>::infinity();
+          for (size_t i = 0; i < next_idx.size(); ++i) {
+            if (!next.feasible[next_idx[i]]) continue;
+            if (q[i] > best_q) {
+              best_q = q[i];
+              best = static_cast<int>(i);
+            }
+          }
+          return best;
+        };
+        double next_value = 0.0;
+        if (config_.double_dqn) {
+          // Double DQN: argmax from the online net, value from the target.
+          const std::vector<double> qo =
+              SubFleetQ(next, online_.get(), next_idx);
+          const int best = feasible_max(qo);
+          const std::vector<double> qt =
+              SubFleetQ(next, target_.get(), next_idx);
+          next_value = qt[best];
+        } else {
+          const std::vector<double> qt =
+              SubFleetQ(next, target_.get(), next_idx);
+          next_value = qt[feasible_max(qt)];
+        }
+        y += config_.gamma * next_value;
+      }
+    }
+
+    // --- Prediction + gradient -------------------------------------------
+    const FleetState state = t->state.ToFleetState();
+    const std::vector<int> idx = InferenceIndices(state);
+    const auto it = std::find(idx.begin(), idx.end(), t->action);
+    DPDP_CHECK(it != idx.end());
+    const int sub_action = static_cast<int>(it - idx.begin());
+
+    const std::vector<double> q = SubFleetQ(state, online_.get(), idx);
+    loss_sum += nn::HuberLoss(q[sub_action], y);
+    std::vector<double> dq(q.size(), 0.0);
+    dq[sub_action] = nn::HuberLossGrad(q[sub_action], y) * inv_batch;
+    online_->Backward(dq);
+  }
+
+  optimizer_->Step();
+  last_loss_ = loss_sum * inv_batch;
+}
+
+void DqnFleetAgent::FinalizeTraining() {
+  if (best_weights_.empty()) return;
+  const std::vector<nn::Parameter*> params = online_->Params();
+  DPDP_CHECK(params.size() == best_weights_.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = best_weights_[i];
+  }
+  nn::CopyParameters(online_->Params(), target_->Params());
+}
+
+std::vector<double> DqnFleetAgent::QValues(const DispatchContext& context) {
+  const FleetState state = BuildFleetState(context, config_);
+  const std::vector<int> idx = InferenceIndices(state);
+  std::vector<double> out(context.options.size(),
+                          -std::numeric_limits<double>::infinity());
+  if (state.NumFeasible() == 0) return out;
+  const std::vector<double> q = SubFleetQ(state, online_.get(), idx);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (state.feasible[idx[i]]) out[idx[i]] = q[i];
+  }
+  return out;
+}
+
+void DqnFleetAgent::Save(std::ostream* os) {
+  nn::SaveParameters(online_->Params(), os);
+}
+
+bool DqnFleetAgent::Load(std::istream* is) {
+  if (!nn::LoadParameters(is, online_->Params())) return false;
+  nn::CopyParameters(online_->Params(), target_->Params());
+  return true;
+}
+
+}  // namespace dpdp

@@ -1,0 +1,98 @@
+#ifndef DPDP_RL_DQN_AGENT_H_
+#define DPDP_RL_DQN_AGENT_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "rl/config.h"
+#include "rl/learning.h"
+#include "rl/q_network.h"
+#include "rl/replay.h"
+#include "rl/state.h"
+#include "sim/dispatcher.h"
+#include "util/rng.h"
+
+namespace dpdp {
+
+/// The value-based DRL dispatcher family of the paper (Algorithm 3):
+/// depending on AgentConfig flags this is DQN, DDQN, ST-DDQN, DGN, DDGN or
+/// ST-DDGN. One network scores the feasible sub-fleet per order; training
+/// uses episode-end reward folding (Eq. 7/8), experience replay, and
+/// (double-)DQN targets with a periodically synced target network.
+class DqnFleetAgent : public LearningDispatcher {
+ public:
+  DqnFleetAgent(const AgentConfig& config, std::string name);
+
+  const char* name() const override { return name_.c_str(); }
+  int ChooseVehicle(const DispatchContext& context) override;
+  void OnEpisodeEnd(const EpisodeResult& result) override;
+  /// Restores the best-episode weight snapshot (if any) into the online
+  /// and target networks.
+  void FinalizeTraining() override;
+
+  /// Training mode enables epsilon-greedy exploration, transition
+  /// recording and episode-end updates. Off by default for evaluation.
+  void set_training(bool training) override { training_ = training; }
+  bool training() const override { return training_; }
+
+  double epsilon() const { return epsilon_; }
+  int episodes_trained() const { return episodes_trained_; }
+  double last_loss() const { return last_loss_; }
+  const AgentConfig& config() const { return config_; }
+
+  /// Greedy Q-values for a context (diagnostics; -inf for infeasible).
+  std::vector<double> QValues(const DispatchContext& context);
+
+  /// Serializes / restores the online network weights.
+  void Save(std::ostream* os);
+  bool Load(std::istream* is);
+
+ private:
+  struct Pending {
+    StoredFleetState state;
+    int action = -1;
+    double instant_reward = 0.0;
+    bool active = false;
+  };
+  struct EpisodeStep {
+    StoredFleetState state;
+    int action;
+    double instant_reward;
+    StoredFleetState next_state;
+    bool terminal;
+  };
+
+  double InstantReward(const DispatchContext& context, int chosen) const;
+  /// Vehicle rows the network scores: the feasible sub-fleet under
+  /// constraint embedding, the whole fleet otherwise.
+  std::vector<int> InferenceIndices(const FleetState& state) const;
+  /// Forward pass over the feasible sub-fleet; returns (sub-q-values,
+  /// feasible index list).
+  std::vector<double> SubFleetQ(const FleetState& state, FleetQNetwork* net,
+                                const std::vector<int>& idx);
+  void TrainBatch();
+
+  AgentConfig config_;
+  std::string name_;
+  Rng rng_;
+  std::unique_ptr<FleetQNetwork> online_;
+  std::unique_ptr<FleetQNetwork> target_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  ReplayBuffer replay_;
+
+  bool training_ = false;
+  double epsilon_;
+  int episodes_trained_ = 0;
+  double last_loss_ = 0.0;
+  Pending pending_;
+  std::vector<EpisodeStep> episode_;
+  double best_episode_cost_ = 0.0;
+  std::vector<nn::Matrix> best_weights_;  ///< Empty until first snapshot.
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_RL_DQN_AGENT_H_

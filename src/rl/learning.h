@@ -1,0 +1,22 @@
+#ifndef DPDP_RL_LEARNING_H_
+#define DPDP_RL_LEARNING_H_
+
+#include "sim/dispatcher.h"
+
+namespace dpdp {
+
+/// A dispatcher that learns: exposes a train/eval mode switch so the
+/// experiment harness can train a policy and then evaluate it greedily.
+class LearningDispatcher : public Dispatcher {
+ public:
+  virtual void set_training(bool training) = 0;
+  virtual bool training() const = 0;
+
+  /// Called once after the training loop, before greedy evaluation
+  /// (e.g. to restore best-episode weights). Default: no-op.
+  virtual void FinalizeTraining() {}
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_RL_LEARNING_H_

@@ -1,0 +1,120 @@
+#include "rl/q_network.h"
+
+#include "rl/state.h"
+
+namespace dpdp {
+namespace {
+
+nn::Matrix ColumnFromVector(const std::vector<double>& v) {
+  nn::Matrix m(static_cast<int>(v.size()), 1);
+  for (size_t i = 0; i < v.size(); ++i) m(static_cast<int>(i), 0) = v[i];
+  return m;
+}
+
+std::vector<double> VectorFromColumn(const nn::Matrix& m) {
+  DPDP_CHECK(m.cols() == 1);
+  std::vector<double> v(m.rows());
+  for (int i = 0; i < m.rows(); ++i) v[i] = m(i, 0);
+  return v;
+}
+
+}  // namespace
+
+MlpQNetwork::MlpQNetwork(const AgentConfig& config, Rng* rng)
+    : mlp_({kStateFeatures, config.hidden_dim, config.hidden_dim, 1},
+           nn::Activation::kReLU, rng) {}
+
+std::vector<double> MlpQNetwork::Forward(const nn::Matrix& features,
+                                         const nn::Matrix& adjacency) {
+  (void)adjacency;  // No relational structure in the factorized MLP.
+  return VectorFromColumn(mlp_.Forward(features));
+}
+
+void MlpQNetwork::Backward(const std::vector<double>& dq) {
+  mlp_.Backward(ColumnFromVector(dq));
+}
+
+std::vector<nn::Parameter*> MlpQNetwork::Params() { return mlp_.Params(); }
+
+GraphQNetwork::GraphQNetwork(const AgentConfig& config, Rng* rng)
+    : levels_(config.attention_levels),
+      encoder_({kStateFeatures, config.hidden_dim, config.hidden_dim},
+               nn::Activation::kReLU, rng),
+      head_({config.hidden_dim * (config.attention_levels + 1),
+             config.hidden_dim, 1},
+            nn::Activation::kReLU, rng) {
+  DPDP_CHECK(levels_ >= 1);
+  for (int l = 0; l < levels_; ++l) {
+    attention_.emplace_back(config.hidden_dim, config.num_heads, rng);
+  }
+  relus_.resize(levels_);
+}
+
+std::vector<double> GraphQNetwork::Forward(const nn::Matrix& features,
+                                           const nn::Matrix& adjacency) {
+  const int m = features.rows();
+  const int d = encoder_.out_dim();
+  level_outputs_.clear();
+  level_outputs_.push_back(encoder_.Forward(features));  // Level 0.
+  for (int l = 0; l < levels_; ++l) {
+    level_outputs_.push_back(relus_[l].Forward(
+        attention_[l].Forward(level_outputs_.back(), adjacency)));
+  }
+  // Concatenate every level's representation (paper: initial + high-level
+  // representations are concatenated before the Q head).
+  nn::Matrix concat(m, d * (levels_ + 1));
+  for (int l = 0; l <= levels_; ++l) {
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < d; ++c) {
+        concat(r, l * d + c) = level_outputs_[l](r, c);
+      }
+    }
+  }
+  return VectorFromColumn(head_.Forward(concat));
+}
+
+void GraphQNetwork::Backward(const std::vector<double>& dq) {
+  DPDP_CHECK(!level_outputs_.empty());
+  const int m = static_cast<int>(dq.size());
+  const int d = encoder_.out_dim();
+  const nn::Matrix dconcat = head_.Backward(ColumnFromVector(dq));
+  DPDP_CHECK(dconcat.rows() == m && dconcat.cols() == d * (levels_ + 1));
+
+  // Split the concat gradient back into per-level slices.
+  std::vector<nn::Matrix> dlevel(levels_ + 1);
+  for (int l = 0; l <= levels_; ++l) {
+    dlevel[l] = nn::Matrix(m, d);
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < d; ++c) dlevel[l](r, c) = dconcat(r, l * d + c);
+    }
+  }
+  // Walk the attention stack backwards, folding in each level's direct
+  // contribution from the concatenation.
+  nn::Matrix dh = dlevel[levels_];
+  for (int l = levels_ - 1; l >= 0; --l) {
+    const nn::Matrix da = relus_[l].Backward(dh);
+    dh = attention_[l].Backward(da);
+    dh.AddInPlace(dlevel[l]);
+  }
+  encoder_.Backward(dh);
+  level_outputs_.clear();
+}
+
+std::vector<nn::Parameter*> GraphQNetwork::Params() {
+  std::vector<nn::Parameter*> out = encoder_.Params();
+  for (auto& a : attention_) {
+    for (nn::Parameter* p : a.Params()) out.push_back(p);
+  }
+  for (nn::Parameter* p : head_.Params()) out.push_back(p);
+  return out;
+}
+
+std::unique_ptr<FleetQNetwork> MakeQNetwork(const AgentConfig& config,
+                                            Rng* rng) {
+  if (config.use_graph) {
+    return std::make_unique<GraphQNetwork>(config, rng);
+  }
+  return std::make_unique<MlpQNetwork>(config, rng);
+}
+
+}  // namespace dpdp

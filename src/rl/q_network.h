@@ -1,0 +1,78 @@
+#ifndef DPDP_RL_Q_NETWORK_H_
+#define DPDP_RL_Q_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "rl/config.h"
+#include "util/rng.h"
+
+namespace dpdp {
+
+/// Per-fleet Q-value network. A forward pass scores the *feasible
+/// sub-fleet* (constraint embedding has already removed infeasible
+/// vehicles): `features` is (M x kStateFeatures) and `adjacency` (M x M).
+/// Returns one Q-value per row.
+///
+/// Backward must follow the corresponding Forward (single-sample training,
+/// gradients accumulate across samples until the optimizer steps).
+class FleetQNetwork {
+ public:
+  virtual ~FleetQNetwork() = default;
+
+  virtual std::vector<double> Forward(const nn::Matrix& features,
+                                      const nn::Matrix& adjacency) = 0;
+
+  /// dq: gradient of the loss w.r.t. each output Q (usually one-hot at the
+  /// chosen vehicle).
+  virtual void Backward(const std::vector<double>& dq) = 0;
+
+  virtual std::vector<nn::Parameter*> Params() = 0;
+};
+
+/// Factorized per-vehicle MLP without relational structure (the DQN /
+/// DDQN / ST-DDQN ablations). Shared weights across vehicles = rows.
+class MlpQNetwork : public FleetQNetwork {
+ public:
+  MlpQNetwork(const AgentConfig& config, Rng* rng);
+
+  std::vector<double> Forward(const nn::Matrix& features,
+                              const nn::Matrix& adjacency) override;
+  void Backward(const std::vector<double>& dq) override;
+  std::vector<nn::Parameter*> Params() override;
+
+ private:
+  nn::Mlp mlp_;
+};
+
+/// The DGN / DDGN / ST-DDGN network (paper Fig. 4): shared encoder MLP ->
+/// stacked neighborhood-attention blocks (with ReLU) -> concatenation of
+/// every level's representation -> Q head MLP.
+class GraphQNetwork : public FleetQNetwork {
+ public:
+  GraphQNetwork(const AgentConfig& config, Rng* rng);
+
+  std::vector<double> Forward(const nn::Matrix& features,
+                              const nn::Matrix& adjacency) override;
+  void Backward(const std::vector<double>& dq) override;
+  std::vector<nn::Parameter*> Params() override;
+
+ private:
+  int levels_;
+  nn::Mlp encoder_;
+  std::vector<nn::MultiHeadSelfAttention> attention_;
+  std::vector<nn::ReLU> relus_;
+  nn::Mlp head_;
+  std::vector<nn::Matrix> level_outputs_;  // Forward cache (per level).
+};
+
+/// Builds the network variant selected by `config.use_graph`.
+std::unique_ptr<FleetQNetwork> MakeQNetwork(const AgentConfig& config,
+                                            Rng* rng);
+
+}  // namespace dpdp
+
+#endif  // DPDP_RL_Q_NETWORK_H_

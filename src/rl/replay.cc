@@ -1,0 +1,65 @@
+#include "rl/replay.h"
+
+namespace dpdp {
+
+StoredFleetState StoredFleetState::FromFleetState(const FleetState& s) {
+  StoredFleetState out;
+  out.num_vehicles = s.num_vehicles();
+  out.features.resize(static_cast<size_t>(out.num_vehicles) *
+                      kStateFeatures);
+  out.positions.resize(static_cast<size_t>(out.num_vehicles) * 2);
+  out.feasible = s.feasible;
+  for (int v = 0; v < out.num_vehicles; ++v) {
+    for (int c = 0; c < kStateFeatures; ++c) {
+      out.features[static_cast<size_t>(v) * kStateFeatures + c] =
+          static_cast<float>(s.features(v, c));
+    }
+    out.positions[static_cast<size_t>(v) * 2] =
+        static_cast<float>(s.positions(v, 0));
+    out.positions[static_cast<size_t>(v) * 2 + 1] =
+        static_cast<float>(s.positions(v, 1));
+  }
+  return out;
+}
+
+FleetState StoredFleetState::ToFleetState() const {
+  FleetState s;
+  s.features = nn::Matrix(num_vehicles, kStateFeatures);
+  s.positions = nn::Matrix(num_vehicles, 2);
+  s.feasible = feasible;
+  for (int v = 0; v < num_vehicles; ++v) {
+    for (int c = 0; c < kStateFeatures; ++c) {
+      s.features(v, c) =
+          features[static_cast<size_t>(v) * kStateFeatures + c];
+    }
+    s.positions(v, 0) = positions[static_cast<size_t>(v) * 2];
+    s.positions(v, 1) = positions[static_cast<size_t>(v) * 2 + 1];
+  }
+  return s;
+}
+
+ReplayBuffer::ReplayBuffer(int capacity) : capacity_(capacity) {
+  DPDP_CHECK(capacity > 0);
+  data_.reserve(static_cast<size_t>(capacity));
+}
+
+void ReplayBuffer::Add(Transition t) {
+  if (size() < capacity_) {
+    data_.push_back(std::move(t));
+  } else {
+    data_[write_pos_] = std::move(t);
+  }
+  write_pos_ = (write_pos_ + 1) % static_cast<size_t>(capacity_);
+}
+
+std::vector<const Transition*> ReplayBuffer::Sample(int n, Rng* rng) const {
+  DPDP_CHECK(size() > 0);
+  std::vector<const Transition*> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(&data_[static_cast<size_t>(rng->UniformInt(size()))]);
+  }
+  return out;
+}
+
+}  // namespace dpdp

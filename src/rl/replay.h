@@ -1,0 +1,59 @@
+#ifndef DPDP_RL_REPLAY_H_
+#define DPDP_RL_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "rl/state.h"
+#include "util/rng.h"
+
+namespace dpdp {
+
+/// Compact (float) storage of a FleetState inside the replay buffer.
+struct StoredFleetState {
+  int num_vehicles = 0;
+  std::vector<float> features;    ///< num_vehicles x kStateFeatures.
+  std::vector<uint8_t> feasible;  ///< num_vehicles.
+  std::vector<float> positions;   ///< num_vehicles x 2.
+
+  static StoredFleetState FromFleetState(const FleetState& s);
+  FleetState ToFleetState() const;
+  bool empty() const { return num_vehicles == 0; }
+};
+
+/// One MDP transition (S, a, R, S', terminal) with the episode-final reward
+/// R = r + r_bar already folded in (Algorithm 3 stores transitions at
+/// episode end).
+struct Transition {
+  StoredFleetState state;
+  int action = -1;      ///< Full-fleet vehicle index.
+  float reward = 0.0f;
+  bool terminal = false;
+  StoredFleetState next_state;  ///< Empty when terminal.
+};
+
+/// Fixed-capacity ring-buffer experience replay with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(int capacity);
+
+  void Add(Transition t);
+
+  int size() const { return static_cast<int>(data_.size()); }
+  int capacity() const { return capacity_; }
+
+  const Transition& at(int i) const { return data_[i]; }
+
+  /// Uniformly samples `n` transitions (with replacement when n > size).
+  std::vector<const Transition*> Sample(int n, Rng* rng) const;
+
+ private:
+  int capacity_;
+  size_t write_pos_ = 0;
+  std::vector<Transition> data_;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_RL_REPLAY_H_

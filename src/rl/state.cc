@@ -1,0 +1,109 @@
+#include "rl/state.h"
+
+#include <algorithm>
+
+namespace dpdp {
+
+int FleetState::NumFeasible() const {
+  int n = 0;
+  for (uint8_t f : feasible) n += (f != 0);
+  return n;
+}
+
+std::vector<int> FleetState::FeasibleIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < feasible.size(); ++i) {
+    if (feasible[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+nn::Matrix FleetState::FeasibleFeatures() const {
+  const std::vector<int> idx = FeasibleIndices();
+  nn::Matrix out(static_cast<int>(idx.size()), features.cols());
+  for (size_t r = 0; r < idx.size(); ++r) {
+    for (int c = 0; c < features.cols(); ++c) {
+      out(static_cast<int>(r), c) = features(idx[r], c);
+    }
+  }
+  return out;
+}
+
+FleetState BuildFleetState(const DispatchContext& context,
+                           const AgentConfig& config) {
+  const int num_vehicles = static_cast<int>(context.options.size());
+  FleetState state;
+  state.features = nn::Matrix(num_vehicles, kStateFeatures);
+  state.feasible.assign(num_vehicles, 0);
+  state.positions = nn::Matrix(num_vehicles, 2);
+
+  const double t_norm =
+      static_cast<double>(context.time_interval) /
+      static_cast<double>(context.instance->num_time_intervals);
+  const double len_norm = config.length_norm_km;
+
+  for (int v = 0; v < num_vehicles; ++v) {
+    const VehicleOption& opt = context.options[v];
+    state.positions(v, 0) = opt.position.first;
+    state.positions(v, 1) = opt.position.second;
+    if (!opt.feasible) {
+      // Algorithm 2's sentinel values for excluded vehicles.
+      for (int c = 0; c < kStateFeatures; ++c) state.features(v, c) = -1.0;
+      continue;
+    }
+    state.feasible[v] = 1;
+    state.features(v, 0) = opt.current_length / len_norm;
+    state.features(v, 1) = opt.new_length / len_norm;
+    state.features(v, 2) = config.use_st_score ? opt.st_score : 0.0;
+    state.features(v, 3) = opt.used ? 1.0 : 0.0;
+    state.features(v, 4) = t_norm;
+    // Delta d on its own (finer) scale; see kStateFeatures doc.
+    state.features(v, 5) = opt.incremental_length / (0.2 * len_norm);
+  }
+  return state;
+}
+
+SubFleetInputs BuildSubFleetInputs(const FleetState& state,
+                                   const std::vector<int>& idx,
+                                   bool use_graph, int num_neighbors) {
+  SubFleetInputs out;
+  out.features = nn::Matrix(static_cast<int>(idx.size()), kStateFeatures);
+  nn::Matrix pos(static_cast<int>(idx.size()), 2);
+  for (size_t r = 0; r < idx.size(); ++r) {
+    for (int c = 0; c < kStateFeatures; ++c) {
+      out.features(static_cast<int>(r), c) = state.features(idx[r], c);
+    }
+    pos(static_cast<int>(r), 0) = state.positions(idx[r], 0);
+    pos(static_cast<int>(r), 1) = state.positions(idx[r], 1);
+  }
+  if (use_graph) {
+    out.adjacency = BuildNeighborAdjacency(pos, num_neighbors);
+  }
+  return out;
+}
+
+nn::Matrix BuildNeighborAdjacency(const nn::Matrix& positions,
+                                  int num_neighbors) {
+  DPDP_CHECK(positions.cols() == 2);
+  const int m = positions.rows();
+  nn::Matrix adj(m, m);
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    adj(i, i) = 1.0;
+    if (num_neighbors <= 0) continue;
+    dist.clear();
+    for (int j = 0; j < m; ++j) {
+      if (j == i) continue;
+      const double dx = positions(i, 0) - positions(j, 0);
+      const double dy = positions(i, 1) - positions(j, 1);
+      dist.emplace_back(dx * dx + dy * dy, j);
+    }
+    const int take = std::min<int>(num_neighbors, static_cast<int>(dist.size()));
+    std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
+    for (int k = 0; k < take; ++k) adj(i, dist[k].second) = 1.0;
+  }
+  return adj;
+}
+
+}  // namespace dpdp

@@ -1,0 +1,70 @@
+#ifndef DPDP_RL_STATE_H_
+#define DPDP_RL_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "rl/config.h"
+#include "sim/dispatcher.h"
+
+namespace dpdp {
+
+/// Number of per-vehicle state features. The paper's route-centric MDP
+/// state is (d, d', xi, f, t); we additionally expose the incremental
+/// length Delta d = d' - d as an explicit sixth feature (it is derivable
+/// from the first two but numerically tiny relative to them, and spelling
+/// it out materially improves value-function fitting — see DESIGN.md).
+inline constexpr int kStateFeatures = 6;
+
+/// The joint MDP state S_t^i in tensor form: one feature row per vehicle
+/// (K x 5), the feasibility mask from constraint embedding, and vehicle
+/// planar positions (K x 2) for the Euclidean nearest-neighbor adjacency.
+struct FleetState {
+  nn::Matrix features;          ///< (K x kStateFeatures), normalized.
+  std::vector<uint8_t> feasible;  ///< Size K; 1 when the vehicle may serve.
+  nn::Matrix positions;         ///< (K x 2) km coordinates.
+
+  int num_vehicles() const { return features.rows(); }
+  int NumFeasible() const;
+
+  /// Row indices of feasible vehicles in ascending order.
+  std::vector<int> FeasibleIndices() const;
+
+  /// Sub-matrix of `features` restricted to feasible rows.
+  nn::Matrix FeasibleFeatures() const;
+};
+
+/// Builds the joint state from a dispatch context. Features of feasible
+/// vehicles are (d/L, d'/L, xi, f, t/T) with L = config.length_norm_km;
+/// when config.use_st_score is false the xi entry is zeroed. Infeasible
+/// rows carry the paper's -1 sentinels (they never reach the network).
+FleetState BuildFleetState(const DispatchContext& context,
+                           const AgentConfig& config);
+
+/// Network inputs for a sub-fleet selection: the selected feature rows and
+/// (when a relational model is used) the nearest-neighbor adjacency over
+/// the selected vehicles' positions.
+struct SubFleetInputs {
+  nn::Matrix features;   ///< (|idx| x kStateFeatures).
+  nn::Matrix adjacency;  ///< (|idx| x |idx|), empty when use_graph = false.
+};
+
+/// Gathers rows `idx` of `state` and, if `use_graph`, builds their
+/// `num_neighbors`-nearest adjacency. Shared by the DQN-family and
+/// Actor-Critic agents.
+SubFleetInputs BuildSubFleetInputs(const FleetState& state,
+                                   const std::vector<int>& idx,
+                                   bool use_graph, int num_neighbors);
+
+/// Builds the {0,1} adjacency mask over the *feasible sub-fleet*: entry
+/// (i, j) = 1 when j is one of i's `num_neighbors` nearest feasible
+/// vehicles by Euclidean distance, or j == i (self-loops keep every
+/// softmax row non-empty). `positions` is (M x 2) for the M feasible
+/// vehicles.
+nn::Matrix BuildNeighborAdjacency(const nn::Matrix& positions,
+                                  int num_neighbors);
+
+}  // namespace dpdp
+
+#endif  // DPDP_RL_STATE_H_

@@ -1,0 +1,36 @@
+#include "rl/trainer.h"
+
+#include "stpred/std_matrix.h"
+
+namespace dpdp {
+
+double TrainingCurve::TailMean(const std::vector<double>& series,
+                               int window) {
+  if (series.empty()) return 0.0;
+  const size_t n = series.size();
+  const size_t w = std::min<size_t>(static_cast<size_t>(window), n);
+  double s = 0.0;
+  for (size_t i = n - w; i < n; ++i) s += series[i];
+  return s / static_cast<double>(w);
+}
+
+TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
+                          const TrainOptions& options) {
+  DPDP_CHECK(simulator != nullptr && dispatcher != nullptr);
+  TrainingCurve curve;
+  curve.agent_name = dispatcher->name();
+  for (int e = 0; e < options.episodes; ++e) {
+    const EpisodeResult result = simulator->RunEpisode(dispatcher);
+    curve.nuv.push_back(result.nuv);
+    curve.total_cost.push_back(result.total_cost);
+    if (!options.demand_for_diff.empty()) {
+      curve.capacity_diff.push_back(DistributionDiff(
+          options.demand_for_diff, simulator->LastCapacityDistribution()));
+    }
+    curve.episodes.push_back(result);
+    if (options.on_episode) options.on_episode(e, result);
+  }
+  return curve;
+}
+
+}  // namespace dpdp

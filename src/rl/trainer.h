@@ -1,0 +1,45 @@
+#ifndef DPDP_RL_TRAINER_H_
+#define DPDP_RL_TRAINER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "sim/dispatcher.h"
+#include "sim/simulator.h"
+
+namespace dpdp {
+
+/// Per-episode training curve: the Fig. 8 (NUV, TC) series plus the Fig. 9
+/// demand/capacity Frobenius "Diff" when a demand matrix is supplied.
+struct TrainingCurve {
+  std::string agent_name;
+  std::vector<double> nuv;
+  std::vector<double> total_cost;
+  std::vector<double> capacity_diff;  ///< Empty unless demand provided.
+  std::vector<EpisodeResult> episodes;
+
+  /// Mean of the last `window` entries of `series` (convergence summary).
+  static double TailMean(const std::vector<double>& series, int window);
+};
+
+/// Options for the episode loop.
+struct TrainOptions {
+  int episodes = 100;
+  /// Demand STD matrix for the capacity-diff diagnostic (Fig. 9); leave
+  /// empty to skip.
+  nn::Matrix demand_for_diff;
+  /// Optional progress callback (episode index, result).
+  std::function<void(int, const EpisodeResult&)> on_episode;
+};
+
+/// Runs `options.episodes` episodes of `simulator` under `dispatcher`
+/// (the dispatcher should be in training mode if it learns) and records
+/// the per-episode metrics.
+TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
+                          const TrainOptions& options);
+
+}  // namespace dpdp
+
+#endif  // DPDP_RL_TRAINER_H_

@@ -1,0 +1,45 @@
+#ifndef DPDP_ROUTING_LOCAL_SEARCH_H_
+#define DPDP_ROUTING_LOCAL_SEARCH_H_
+
+#include <vector>
+
+#include "routing/route_planner.h"
+
+namespace dpdp {
+
+/// Result of a local-search pass over one route suffix.
+struct LocalSearchResult {
+  std::vector<Stop> suffix;    ///< Improved (or original) stop sequence.
+  SuffixSchedule schedule;     ///< Schedule of `suffix`.
+  double initial_length = 0.0;
+  double final_length = 0.0;
+  int moves_applied = 0;       ///< Accepted improvement moves.
+
+  double improvement() const { return initial_length - final_length; }
+};
+
+/// Iterated order-reinsertion local search over a route suffix: repeatedly
+/// remove one order's (pickup, delivery) pair and re-insert it at its best
+/// feasible position (Algorithm 2's enumeration), accepting strictly
+/// shorter suffixes, until a full pass yields no improvement or
+/// `max_passes` is reached.
+///
+/// All constraints (LIFO, capacity, time windows, anchor onboard stack)
+/// are preserved — every intermediate candidate is validated by the
+/// planner. Orders whose deliveries match cargo already onboard at the
+/// anchor are never moved (their pickup happened in the committed prefix).
+/// Deterministic.
+///
+/// This is the classic "insertion heuristic + local search" hybridization
+/// of the DPDP literature (Mitrovic-Minic & Laporte 2004); the simulator
+/// applies it per decision when SimulatorConfig::local_search_passes > 0,
+/// and the `supp_local_search` bench quantifies the effect.
+LocalSearchResult ImproveSuffixByReinsertion(const RoutePlanner& planner,
+                                             const PlanAnchor& anchor,
+                                             std::vector<Stop> suffix,
+                                             int depot_node,
+                                             int max_passes = 5);
+
+}  // namespace dpdp
+
+#endif  // DPDP_ROUTING_LOCAL_SEARCH_H_

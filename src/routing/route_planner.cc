@@ -1,0 +1,160 @@
+#include "routing/route_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dpdp {
+
+RoutePlanner::RoutePlanner(const RoadNetwork* network,
+                           const VehicleConfig* config,
+                           const std::vector<Order>* orders)
+    : network_(network), config_(config), orders_(orders) {
+  DPDP_CHECK(network_ != nullptr);
+  DPDP_CHECK(config_ != nullptr);
+  DPDP_CHECK(orders_ != nullptr);
+}
+
+RoutePlanner::RoutePlanner(const Instance* instance)
+    : RoutePlanner(instance->network.get(), &instance->vehicle_config,
+                   &instance->orders) {}
+
+const Order& RoutePlanner::LookupOrder(int id) const {
+  DPDP_CHECK(id >= 0 && id < static_cast<int>(orders_->size()));
+  return (*orders_)[id];
+}
+
+Result<SuffixSchedule> RoutePlanner::CheckSuffix(
+    const PlanAnchor& anchor, const std::vector<Stop>& suffix,
+    int depot_node) const {
+  SuffixSchedule out;
+  out.stops.reserve(suffix.size());
+  out.residual_capacity.reserve(suffix.size());
+
+  std::vector<int> stack = anchor.onboard;
+  double load = 0.0;
+  for (int id : stack) load += LookupOrder(id).quantity;
+  if (load > config_->capacity) {
+    return Status::Infeasible("anchor load already exceeds capacity");
+  }
+
+  int node = anchor.node;
+  double now = anchor.time;
+  double length = 0.0;
+
+  for (const Stop& stop : suffix) {
+    const Order& order = LookupOrder(stop.order_id);
+    length += network_->Distance(node, stop.node);
+    const double arrival =
+        now + network_->TravelTimeMinutes(node, stop.node,
+                                          config_->speed_kmph);
+    out.residual_capacity.push_back(config_->capacity - load);
+
+    double service_start = arrival;
+    if (stop.type == StopType::kPickup) {
+      DPDP_CHECK(stop.node == order.pickup_node);
+      // Pickups may wait for the order's creation (earliest service time).
+      service_start = std::max(arrival, order.create_time_min);
+      load += order.quantity;
+      if (load > config_->capacity + 1e-9) {
+        return Status::Infeasible("capacity exceeded at pickup of " +
+                                  order.DebugString());
+      }
+      stack.push_back(stop.order_id);
+    } else {
+      DPDP_CHECK(stop.node == order.delivery_node);
+      if (stack.empty() || stack.back() != stop.order_id) {
+        return Status::Infeasible("LIFO violation delivering " +
+                                  order.DebugString());
+      }
+      if (service_start > order.latest_time_min + 1e-9) {
+        return Status::Infeasible("late delivery of " + order.DebugString());
+      }
+      stack.pop_back();
+      load -= order.quantity;
+    }
+
+    const double departure = service_start + config_->service_time_min;
+    out.stops.push_back({arrival, service_start, departure});
+    node = stop.node;
+    now = departure;
+  }
+
+  if (!stack.empty()) {
+    return Status::Infeasible("cargo left onboard at end of route");
+  }
+
+  length += network_->Distance(node, depot_node);
+  out.length = length;
+  out.completion_time =
+      now + network_->TravelTimeMinutes(node, depot_node,
+                                        config_->speed_kmph);
+  return out;
+}
+
+double RoutePlanner::SuffixLength(const PlanAnchor& anchor,
+                                  const std::vector<Stop>& suffix,
+                                  int depot_node) const {
+  int node = anchor.node;
+  double length = 0.0;
+  for (const Stop& stop : suffix) {
+    length += network_->Distance(node, stop.node);
+    node = stop.node;
+  }
+  return length + network_->Distance(node, depot_node);
+}
+
+Result<Insertion> RoutePlanner::BestInsertion(
+    const PlanAnchor& anchor, const std::vector<Stop>& old_suffix,
+    int depot_node, const Order& order) const {
+  const int n = static_cast<int>(old_suffix.size());
+  const double old_length = SuffixLength(anchor, old_suffix, depot_node);
+
+  const Stop pickup{order.pickup_node, order.id, StopType::kPickup};
+  const Stop delivery{order.delivery_node, order.id, StopType::kDelivery};
+
+  Insertion best;
+  double best_length = std::numeric_limits<double>::infinity();
+  bool found = false;
+  last_candidates_ = 0;
+
+  std::vector<Stop> candidate;
+  candidate.reserve(old_suffix.size() + 2);
+  // Insert the pickup at position i and the delivery at position j (both in
+  // the *new* suffix), i < j. Enumerating all pairs is the paper's
+  // "enumeration way"; CheckSuffix rejects LIFO-invalid placements.
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i + 1; j <= n + 1; ++j) {
+      candidate.clear();
+      candidate.insert(candidate.end(), old_suffix.begin(),
+                       old_suffix.begin() + i);
+      candidate.push_back(pickup);
+      candidate.insert(candidate.end(), old_suffix.begin() + i,
+                       old_suffix.begin() + (j - 1));
+      candidate.push_back(delivery);
+      candidate.insert(candidate.end(), old_suffix.begin() + (j - 1),
+                       old_suffix.end());
+      ++last_candidates_;
+
+      Result<SuffixSchedule> checked =
+          CheckSuffix(anchor, candidate, depot_node);
+      if (!checked.ok()) continue;
+      if (checked.value().length < best_length) {
+        best_length = checked.value().length;
+        best.pickup_pos = i;
+        best.delivery_pos = j;
+        best.suffix = candidate;
+        best.schedule = std::move(checked).value();
+        found = true;
+      }
+    }
+  }
+
+  if (!found) {
+    return Status::Infeasible("no feasible insertion for " +
+                              order.DebugString());
+  }
+  best.incremental_length = best.schedule.length - old_length;
+  return best;
+}
+
+}  // namespace dpdp

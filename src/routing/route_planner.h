@@ -1,0 +1,102 @@
+#ifndef DPDP_ROUTING_ROUTE_PLANNER_H_
+#define DPDP_ROUTING_ROUTE_PLANNER_H_
+
+#include <vector>
+
+#include "model/instance.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "net/road_network.h"
+#include "util/result.h"
+
+namespace dpdp {
+
+/// Where (and when, and with what cargo) a vehicle's re-plannable route
+/// suffix begins. The "no interference with in-service vehicles" rule means
+/// only the suffix after the currently committed stop may change; the
+/// anchor captures the vehicle's physical situation at that point.
+struct PlanAnchor {
+  int node = -1;                ///< Node the suffix departs from.
+  double time = 0.0;            ///< Earliest departure time from `node`.
+  /// LIFO stack of onboard order ids (bottom first, top last): orders picked
+  /// up in the committed prefix whose deliveries lie in the suffix.
+  std::vector<int> onboard;
+};
+
+/// Timing and load profile of a feasible suffix.
+struct SuffixSchedule {
+  std::vector<StopSchedule> stops;
+  /// eta (Definition 3): residual capacity upon *arrival* at each stop,
+  /// i.e. capacity minus the load carried into the stop.
+  std::vector<double> residual_capacity;
+  double length = 0.0;           ///< km: anchor -> stops... -> depot.
+  double completion_time = 0.0;  ///< Arrival time back at the depot.
+};
+
+/// A feasible insertion of one order into a route suffix (Algorithm 2).
+struct Insertion {
+  int pickup_pos = -1;    ///< Index of the pickup stop in `suffix`.
+  int delivery_pos = -1;  ///< Index of the delivery stop in `suffix`.
+  std::vector<Stop> suffix;
+  SuffixSchedule schedule;
+  /// Length delta vs. the pre-insertion suffix (both measured anchor ->
+  /// ... -> depot), i.e. the marginal kilometres caused by the order.
+  double incremental_length = 0.0;
+};
+
+/// The paper's route planner (Algorithm 2): exhaustive enumeration of
+/// pickup/delivery insertion positions with time-window, LIFO and capacity
+/// validation, returning the shortest feasible temporary route.
+///
+/// The planner is stateless and cheap to construct; it borrows the network,
+/// config and order pool, which must outlive it.
+class RoutePlanner {
+ public:
+  RoutePlanner(const RoadNetwork* network, const VehicleConfig* config,
+               const std::vector<Order>* orders);
+
+  /// Convenience: planner over an instance's components.
+  explicit RoutePlanner(const Instance* instance);
+
+  /// Validates `suffix` departing from `anchor` and ending at `depot_node`.
+  /// Checks, in order of detection: LIFO stack discipline (every delivery
+  /// matches the top of the stack and nothing remains at the end), capacity
+  /// (load never exceeds Q), and time windows (pickups wait for order
+  /// creation; deliveries must begin no later than the order's latest
+  /// time). Returns the schedule on success, Status::Infeasible otherwise.
+  Result<SuffixSchedule> CheckSuffix(const PlanAnchor& anchor,
+                                     const std::vector<Stop>& suffix,
+                                     int depot_node) const;
+
+  /// Pure travel length of a suffix (anchor -> stops... -> depot), ignoring
+  /// feasibility. Used for the "current route length" state feature.
+  double SuffixLength(const PlanAnchor& anchor,
+                      const std::vector<Stop>& suffix, int depot_node) const;
+
+  /// Algorithm 2: tries every (pickup, delivery) insertion position pair in
+  /// `old_suffix`, keeps feasible candidates, and returns the one with the
+  /// shortest resulting suffix. Status::Infeasible when no placement works.
+  Result<Insertion> BestInsertion(const PlanAnchor& anchor,
+                                  const std::vector<Stop>& old_suffix,
+                                  int depot_node, const Order& order) const;
+
+  /// Number of candidate suffixes evaluated by the last BestInsertion call
+  /// (for the constraint-embedding micro-benchmarks).
+  int last_candidates_evaluated() const { return last_candidates_; }
+
+  /// The order pool entry with the given id (shared with callers such as
+  /// the local-search improver).
+  const Order& order(int id) const { return LookupOrder(id); }
+
+ private:
+  const Order& LookupOrder(int id) const;
+
+  const RoadNetwork* network_;
+  const VehicleConfig* config_;
+  const std::vector<Order>* orders_;
+  mutable int last_candidates_ = 0;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_ROUTING_ROUTE_PLANNER_H_

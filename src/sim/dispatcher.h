@@ -1,0 +1,96 @@
+#ifndef DPDP_SIM_DISPATCHER_H_
+#define DPDP_SIM_DISPATCHER_H_
+
+#include <string>
+#include <vector>
+#include <utility>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/order.h"
+#include "routing/route_planner.h"
+
+namespace dpdp {
+
+/// Everything the route planner derived for one vehicle w.r.t. the order
+/// being dispatched — Algorithm 2's outputs, i.e. the raw material of the
+/// individual MDP state s_{t,k}. Infeasible vehicles (constraint
+/// embedding) carry feasible = false and the paper's sentinel values.
+struct VehicleOption {
+  int vehicle = -1;
+  bool feasible = false;
+  bool used = false;                ///< f_{t,k}: served any order before.
+  int num_assigned_orders = 0;
+  double current_length = -1.0;     ///< d_{t,k}: route length now (km).
+  double new_length = -1.0;         ///< d^i_{t,k}: length if it takes o.
+  double incremental_length = -1.0; ///< Delta d = new - current.
+  double st_score = -1.0;           ///< xi: ST Score of the tentative route.
+  std::pair<double, double> position{0.0, 0.0};  ///< Planar km coordinates.
+  Insertion insertion;              ///< Valid only when feasible.
+};
+
+/// The decision context handed to a dispatcher for one order.
+struct DispatchContext {
+  const Instance* instance = nullptr;
+  const Order* order = nullptr;
+  double now = 0.0;
+  int time_interval = 0;            ///< t in the MDP state.
+  std::vector<VehicleOption> options;  ///< One entry per vehicle, by index.
+  int num_feasible = 0;
+};
+
+/// Outcome summary of one simulated day (episode).
+struct EpisodeResult {
+  std::string instance_name;
+  int num_orders = 0;
+  int num_served = 0;
+  int num_unserved = 0;
+  double nuv = 0.0;                  ///< Number of used vehicles.
+  double total_travel_length = 0.0;  ///< TTL in km.
+  double total_cost = 0.0;           ///< TC = mu * NUV + delta * TTL.
+  double decision_wall_seconds = 0.0;  ///< Time spent inside ChooseVehicle.
+  double sum_incremental_length = 0.0;
+  /// Mean simulated minutes between an order's creation and its dispatch
+  /// decision. 0 under the paper's immediate-service strategy; ~W/2 under
+  /// fixed-interval buffering with window W (Sec. IV-D discussion).
+  double mean_response_min = 0.0;
+  /// Kilometres shaved off planned suffixes by per-decision local search
+  /// (0 unless SimulatorConfig::local_search_passes > 0).
+  double local_search_km_saved = 0.0;
+
+  /// The problem's formal outputs (Sec. III), filled when
+  /// SimulatorConfig::record_plan is set:
+  /// OA — order_assignment[o] = vehicle serving order o (-1 if unserved);
+  /// RP — final executed stop sequence per vehicle (empty if unused).
+  std::vector<int> order_assignment;
+  std::vector<std::vector<Stop>> routes;
+
+  bool all_served() const { return num_unserved == 0; }
+};
+
+/// Vehicle-selection policy: baselines and learned agents implement this.
+/// The simulator guarantees at least one feasible option when it calls
+/// ChooseVehicle, and the returned index must refer to a feasible option.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Picks the vehicle to serve `context.order`.
+  virtual int ChooseVehicle(const DispatchContext& context) = 0;
+
+  /// Called after the chosen assignment is applied (learning hook).
+  virtual void OnOrderAssigned(const DispatchContext& context, int vehicle) {
+    (void)context;
+    (void)vehicle;
+  }
+
+  /// Called when the episode finishes (learning hook: long-term reward,
+  /// replay storage, training step).
+  virtual void OnEpisodeEnd(const EpisodeResult& result) { (void)result; }
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_SIM_DISPATCHER_H_

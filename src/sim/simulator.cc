@@ -1,0 +1,168 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+
+#include "routing/local_search.h"
+#include "stpred/st_score.h"
+#include "stpred/std_matrix.h"
+#include "util/timer.h"
+
+namespace dpdp {
+
+Simulator::Simulator(const Instance* instance, SimulatorConfig config)
+    : instance_(instance),
+      config_(std::move(config)),
+      planner_(instance) {
+  DPDP_CHECK(instance_ != nullptr);
+  DPDP_CHECK_OK(ValidateInstance(*instance_));
+  if (!config_.predicted_std.empty()) {
+    DPDP_CHECK(config_.predicted_std.rows() ==
+               instance_->network->num_factories());
+    DPDP_CHECK(config_.predicted_std.cols() ==
+               instance_->num_time_intervals);
+  }
+}
+
+DispatchContext Simulator::BuildContext(const Order& order,
+                                        double decision_time) {
+  DispatchContext ctx;
+  ctx.instance = instance_;
+  ctx.order = &order;
+  ctx.now = decision_time;
+  ctx.time_interval =
+      TimeIntervalIndex(order.create_time_min, instance_->num_time_intervals,
+                        instance_->horizon_minutes);
+  ctx.options.resize(vehicles_.size());
+
+  for (size_t v = 0; v < vehicles_.size(); ++v) {
+    VehicleState& vehicle = vehicles_[v];
+    vehicle.AdvanceTo(ctx.now);
+
+    VehicleOption& opt = ctx.options[v];
+    opt.vehicle = static_cast<int>(v);
+    opt.used = vehicle.used();
+    opt.num_assigned_orders = vehicle.num_assigned_orders();
+    opt.position = vehicle.Position();
+
+    const PlanAnchor anchor = vehicle.MakeAnchor();
+    const std::vector<Stop> suffix = vehicle.FreeSuffix();
+    Result<Insertion> insertion =
+        planner_.BestInsertion(anchor, suffix, vehicle.depot(), order);
+    if (!insertion.ok()) {
+      // Constraint embedding: the vehicle is excluded from inference and
+      // its state entries take the paper's sentinel value -1.
+      opt.feasible = false;
+      continue;
+    }
+    opt.feasible = true;
+    ++ctx.num_feasible;
+    opt.insertion = std::move(insertion).value();
+    const double committed = vehicle.committed_length();
+    opt.current_length =
+        committed + planner_.SuffixLength(anchor, suffix, vehicle.depot());
+    opt.new_length = committed + opt.insertion.schedule.length;
+    opt.incremental_length = opt.insertion.incremental_length;
+    if (!config_.predicted_std.empty()) {
+      opt.st_score = ComputeStScore(
+          *instance_->network, opt.insertion.suffix, opt.insertion.schedule,
+          config_.predicted_std, instance_->num_time_intervals,
+          instance_->horizon_minutes, config_.divergence);
+    } else {
+      opt.st_score = 0.0;
+    }
+  }
+  return ctx;
+}
+
+EpisodeResult Simulator::RunEpisode(Dispatcher* dispatcher) {
+  DPDP_CHECK(dispatcher != nullptr);
+
+  // Fresh fleet each episode.
+  vehicles_.clear();
+  vehicles_.reserve(instance_->vehicle_depots.size());
+  for (int v = 0; v < instance_->num_vehicles(); ++v) {
+    vehicles_.emplace_back(v, instance_->vehicle_depots[v], instance_,
+                           config_.record_visits);
+  }
+
+  EpisodeResult result;
+  result.instance_name = instance_->name;
+  result.num_orders = instance_->num_orders();
+  if (config_.record_plan) {
+    result.order_assignment.assign(instance_->num_orders(), -1);
+  }
+
+  double response_sum = 0.0;
+  // Orders are pre-sorted by creation time (canonical form); Algorithm 1
+  // processes each immediately on arrival, or — with buffering enabled —
+  // at the end of the fixed window containing its creation time.
+  for (const Order& order : instance_->orders) {
+    double decision_time = order.create_time_min;
+    if (config_.buffer_window_min > 0.0) {
+      const double w = config_.buffer_window_min;
+      decision_time =
+          (std::floor(order.create_time_min / w) + 1.0) * w;
+    }
+    response_sum += decision_time - order.create_time_min;
+    DispatchContext ctx = BuildContext(order, decision_time);
+    if (ctx.num_feasible == 0) {
+      ++result.num_unserved;
+      continue;
+    }
+    WallTimer timer;
+    const int chosen = dispatcher->ChooseVehicle(ctx);
+    result.decision_wall_seconds += timer.ElapsedSeconds();
+    DPDP_CHECK(chosen >= 0 && chosen < static_cast<int>(ctx.options.size()));
+    DPDP_CHECK(ctx.options[chosen].feasible);
+
+    std::vector<Stop> new_suffix = ctx.options[chosen].insertion.suffix;
+    if (config_.local_search_passes > 0) {
+      LocalSearchResult improved = ImproveSuffixByReinsertion(
+          planner_, vehicles_[chosen].MakeAnchor(), std::move(new_suffix),
+          vehicles_[chosen].depot(), config_.local_search_passes);
+      result.local_search_km_saved += improved.improvement();
+      new_suffix = std::move(improved.suffix);
+    }
+    vehicles_[chosen].ApplyNewSuffix(std::move(new_suffix),
+                                     /*serves_order=*/true);
+    result.sum_incremental_length +=
+        ctx.options[chosen].incremental_length;
+    ++result.num_served;
+    if (config_.record_plan) result.order_assignment[order.id] = chosen;
+    dispatcher->OnOrderAssigned(ctx, chosen);
+  }
+
+  for (VehicleState& vehicle : vehicles_) {
+    const double length = vehicle.FinishRoute();
+    if (vehicle.used()) {
+      result.nuv += 1.0;
+      result.total_travel_length += length;
+    }
+    if (config_.record_plan) result.routes.push_back(vehicle.stops());
+  }
+  const VehicleConfig& cfg = instance_->vehicle_config;
+  result.total_cost = cfg.fixed_cost * result.nuv +
+                      cfg.cost_per_km * result.total_travel_length;
+  result.mean_response_min =
+      result.num_orders > 0
+          ? response_sum / static_cast<double>(result.num_orders)
+          : 0.0;
+  dispatcher->OnEpisodeEnd(result);
+  return result;
+}
+
+nn::Matrix Simulator::LastCapacityDistribution() const {
+  nn::Matrix cap(instance_->network->num_factories(),
+                 instance_->num_time_intervals);
+  for (const VehicleState& vehicle : vehicles_) {
+    for (const VisitRecord& visit : vehicle.visits()) {
+      AddCapacityVisit(*instance_->network, visit.node, visit.arrival,
+                       visit.residual_capacity,
+                       instance_->num_time_intervals,
+                       instance_->horizon_minutes, &cap);
+    }
+  }
+  return cap;
+}
+
+}  // namespace dpdp

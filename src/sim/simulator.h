@@ -1,0 +1,73 @@
+#ifndef DPDP_SIM_SIMULATOR_H_
+#define DPDP_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/instance.h"
+#include "nn/matrix.h"
+#include "routing/route_planner.h"
+#include "sim/dispatcher.h"
+#include "sim/vehicle_state.h"
+#include "stpred/divergence.h"
+
+namespace dpdp {
+
+/// Knobs of the episode simulation (Algorithm 1).
+struct SimulatorConfig {
+  /// Predicted STD matrix (num_factories x T) used to compute the ST Score
+  /// state feature. When empty, every option's st_score is 0 (the vanilla
+  /// DRL baselines and heuristics ignore it anyway).
+  nn::Matrix predicted_std;
+  DivergenceKind divergence = DivergenceKind::kJensenShannon;
+  /// Record per-vehicle visit histories (needed for Fig. 9 capacity
+  /// distributions; costs memory on big fleets).
+  bool record_visits = true;
+  /// Fixed time-interval buffering (Sec. IV-D): orders created within a
+  /// window of this many minutes are held and dispatched together at the
+  /// window boundary (still in creation order). <= 0 reproduces the
+  /// paper's deployed immediate-service strategy.
+  double buffer_window_min = 0.0;
+  /// When > 0, run reinsertion local search (routing/local_search.h) on
+  /// the chosen vehicle's new suffix after every assignment, with this
+  /// many improvement passes. 0 = the paper's pure insertion policy.
+  int local_search_passes = 0;
+  /// Fill EpisodeResult::order_assignment / routes (the problem's formal
+  /// OA / RP outputs).
+  bool record_plan = false;
+};
+
+/// The dispatching simulator of Algorithm 1: replays one day's order stream
+/// in creation order, advancing vehicle kinematics to each decision time,
+/// building the per-vehicle options via the route planner (constraint
+/// embedding), delegating the choice to a Dispatcher, and applying the
+/// chosen insertion. Orders are served immediately (no buffering), as in
+/// the paper's deployed configuration.
+class Simulator {
+ public:
+  Simulator(const Instance* instance, SimulatorConfig config = {});
+
+  /// Runs one full episode under `dispatcher` and returns the metrics.
+  /// Orders for which no vehicle is feasible are counted unserved and
+  /// skipped (the evaluation protocol assumes the fleet suffices).
+  EpisodeResult RunEpisode(Dispatcher* dispatcher);
+
+  /// Spatial-temporal capacity distribution (num_factories x T) of the
+  /// last episode: residual capacity brought to each (factory, interval)
+  /// by all vehicles (Fig. 9). Requires record_visits.
+  nn::Matrix LastCapacityDistribution() const;
+
+  const Instance& instance() const { return *instance_; }
+
+ private:
+  DispatchContext BuildContext(const Order& order, double decision_time);
+
+  const Instance* instance_;
+  SimulatorConfig config_;
+  RoutePlanner planner_;
+  std::vector<VehicleState> vehicles_;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_SIM_SIMULATOR_H_

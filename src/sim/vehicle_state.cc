@@ -1,0 +1,183 @@
+#include "sim/vehicle_state.h"
+
+#include <algorithm>
+
+namespace dpdp {
+
+VehicleState::VehicleState(int id, int depot_node, const Instance* instance,
+                           bool record_visits)
+    : id_(id),
+      depot_(depot_node),
+      instance_(instance),
+      net_(instance->network.get()),
+      idle_node_(depot_node),
+      record_visits_(record_visits) {
+  DPDP_CHECK(instance_ != nullptr);
+  DPDP_CHECK(depot_node >= 0 && depot_node < net_->num_nodes());
+}
+
+const Order& VehicleState::LookupOrder(int id) const {
+  return instance_->order(id);
+}
+
+double VehicleState::TravelMinutes(int from, int to) const {
+  return net_->TravelTimeMinutes(from, to,
+                                 instance_->vehicle_config.speed_kmph);
+}
+
+void VehicleState::Depart(double depart_time) {
+  DPDP_CHECK(next_idx_ < stops_.size());
+  const int from = (phase_ == Phase::kIdle) ? idle_node_
+                                            : stops_[next_idx_ - 1].node;
+  from_node_ = from;
+  depart_time_ = depart_time;
+  arrive_time_ = depart_time + TravelMinutes(from, stops_[next_idx_].node);
+  committed_length_ += net_->Distance(from, stops_[next_idx_].node);
+  phase_ = Phase::kDriving;
+}
+
+double VehicleState::PredictedServiceEnd() const {
+  DPDP_CHECK(phase_ != Phase::kIdle);
+  if (phase_ == Phase::kServing) return service_end_;
+  const Stop& stop = stops_[next_idx_];
+  double service_start = arrive_time_;
+  if (stop.type == StopType::kPickup) {
+    service_start =
+        std::max(service_start, LookupOrder(stop.order_id).create_time_min);
+  }
+  return service_start + instance_->vehicle_config.service_time_min;
+}
+
+void VehicleState::AdvanceTo(double now) {
+  DPDP_CHECK(now + 1e-9 >= clock_);
+  while (true) {
+    if (phase_ == Phase::kDriving && arrive_time_ <= now) {
+      // Arrival event: record the visit, begin (possibly delayed) service.
+      const Stop& stop = stops_[next_idx_];
+      if (record_visits_) {
+        visits_.push_back({stop.node, arrive_time_,
+                           instance_->vehicle_config.capacity - load_});
+      }
+      double service_start = arrive_time_;
+      if (stop.type == StopType::kPickup) {
+        service_start = std::max(service_start,
+                                 LookupOrder(stop.order_id).create_time_min);
+      }
+      service_end_ = service_start + instance_->vehicle_config.service_time_min;
+      phase_ = Phase::kServing;
+      continue;
+    }
+    if (phase_ == Phase::kServing && service_end_ <= now) {
+      // Service-completion event: apply the load change and move on.
+      const Stop& stop = stops_[next_idx_];
+      const Order& order = LookupOrder(stop.order_id);
+      if (stop.type == StopType::kPickup) {
+        onboard_.push_back(stop.order_id);
+        load_ += order.quantity;
+        DPDP_CHECK(load_ <= instance_->vehicle_config.capacity + 1e-6);
+      } else {
+        DPDP_CHECK(!onboard_.empty() && onboard_.back() == stop.order_id);
+        onboard_.pop_back();
+        load_ -= order.quantity;
+      }
+      const double done_at = service_end_;
+      ++next_idx_;
+      if (next_idx_ < stops_.size()) {
+        idle_node_ = stop.node;  // Keep position bookkeeping consistent.
+        phase_ = Phase::kServing;  // Temporarily; Depart overwrites.
+        Depart(done_at);
+      } else {
+        phase_ = Phase::kIdle;
+        idle_node_ = stop.node;
+      }
+      continue;
+    }
+    break;
+  }
+  clock_ = std::max(clock_, now);
+}
+
+std::pair<double, double> VehicleState::Position() const {
+  if (phase_ == Phase::kDriving) {
+    const NodeInfo& a = net_->node(from_node_);
+    const NodeInfo& b = net_->node(stops_[next_idx_].node);
+    const double span = arrive_time_ - depart_time_;
+    double frac = span > 0.0 ? (clock_ - depart_time_) / span : 1.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    return {a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)};
+  }
+  const int node = (phase_ == Phase::kServing)
+                       ? stops_[next_idx_].node
+                       : idle_node_;
+  return {net_->node(node).x, net_->node(node).y};
+}
+
+PlanAnchor VehicleState::MakeAnchor() const {
+  PlanAnchor anchor;
+  if (phase_ == Phase::kIdle) {
+    anchor.node = idle_node_;
+    anchor.time = clock_;
+    anchor.onboard = onboard_;
+    return anchor;
+  }
+  // The committed stop completes first; the suffix departs from it.
+  const Stop& stop = stops_[next_idx_];
+  anchor.node = stop.node;
+  anchor.time = PredictedServiceEnd();
+  anchor.onboard = onboard_;
+  if (stop.type == StopType::kPickup) {
+    anchor.onboard.push_back(stop.order_id);
+  } else {
+    DPDP_CHECK(!anchor.onboard.empty() &&
+               anchor.onboard.back() == stop.order_id);
+    anchor.onboard.pop_back();
+  }
+  return anchor;
+}
+
+int VehicleState::FirstFreeIndex() const {
+  if (phase_ == Phase::kIdle) return static_cast<int>(stops_.size());
+  return static_cast<int>(next_idx_) + 1;
+}
+
+std::vector<Stop> VehicleState::FreeSuffix() const {
+  const int first = FirstFreeIndex();
+  return std::vector<Stop>(stops_.begin() + first, stops_.end());
+}
+
+void VehicleState::ApplyNewSuffix(std::vector<Stop> new_suffix,
+                                  bool serves_order) {
+  DPDP_CHECK(!finished_);
+  const int first = FirstFreeIndex();
+  stops_.resize(first);
+  stops_.insert(stops_.end(), new_suffix.begin(), new_suffix.end());
+  if (serves_order) {
+    ++num_assigned_orders_;
+    used_ = true;
+  }
+  if (phase_ == Phase::kIdle && next_idx_ < stops_.size()) {
+    Depart(clock_);
+  }
+}
+
+double VehicleState::FinishRoute() {
+  if (finished_) return committed_length_;
+  // Drain remaining events one by one so clock_ ends at the true route
+  // completion time instead of jumping past it.
+  while (phase_ != Phase::kIdle) {
+    const double next_event =
+        (phase_ == Phase::kDriving) ? arrive_time_ : service_end_;
+    AdvanceTo(std::max(next_event, clock_));
+  }
+  DPDP_CHECK(phase_ == Phase::kIdle);
+  DPDP_CHECK(onboard_.empty());
+  finished_ = true;
+  if (!used_) return 0.0;
+  // Final back-to-depot leg.
+  committed_length_ += net_->Distance(idle_node_, depot_);
+  clock_ += TravelMinutes(idle_node_, depot_);
+  idle_node_ = depot_;
+  return committed_length_;
+}
+
+}  // namespace dpdp

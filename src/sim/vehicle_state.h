@@ -1,0 +1,118 @@
+#ifndef DPDP_SIM_VEHICLE_STATE_H_
+#define DPDP_SIM_VEHICLE_STATE_H_
+
+#include <utility>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "net/road_network.h"
+#include "routing/route_planner.h"
+
+namespace dpdp {
+
+/// One factory/depot visit actually executed by a vehicle (used for the
+/// spatial-temporal capacity distribution of Fig. 9).
+struct VisitRecord {
+  int node = -1;
+  double arrival = 0.0;
+  double residual_capacity = 0.0;  ///< Capacity minus load on arrival.
+};
+
+/// Runtime state of one vehicle: an event-driven machine that executes the
+/// planned route with the paper's kinematic simplifications (constant
+/// speed, fixed service time) and enforces the "no interference" rule —
+/// once the vehicle has departed toward a stop, that stop is committed and
+/// replanning may only alter the remaining suffix.
+///
+/// The owner advances time monotonically via AdvanceTo() before querying
+/// position/anchor or applying a new suffix.
+class VehicleState {
+ public:
+  VehicleState(int id, int depot_node, const Instance* instance,
+               bool record_visits = true);
+
+  int id() const { return id_; }
+  int depot() const { return depot_; }
+  bool used() const { return used_; }
+  int num_assigned_orders() const { return num_assigned_orders_; }
+  const std::vector<Stop>& stops() const { return stops_; }
+  const std::vector<VisitRecord>& visits() const { return visits_; }
+
+  /// Processes all arrival/service-completion events up to `now` (>= the
+  /// previous advance).
+  void AdvanceTo(double now);
+
+  /// Interpolated planar position at the last advanced time.
+  std::pair<double, double> Position() const;
+
+  /// Planning anchor at the last advanced time: the (node, time, onboard
+  /// stack) from which the re-plannable suffix departs. For an idle vehicle
+  /// this is its current node at the current time; for a moving/serving
+  /// vehicle it is the committed stop at its predicted service completion.
+  PlanAnchor MakeAnchor() const;
+
+  /// The re-plannable stops (everything after the committed prefix).
+  std::vector<Stop> FreeSuffix() const;
+
+  /// Index of the first re-plannable stop in stops().
+  int FirstFreeIndex() const;
+
+  /// Kilometres already driven or committed (arcs departed on), excluding
+  /// the final depot-return leg until the route actually ends.
+  double committed_length() const { return committed_length_; }
+
+  /// Replaces the re-plannable suffix with `new_suffix` (as produced by
+  /// RoutePlanner::BestInsertion on FreeSuffix()) at the current time; if
+  /// the vehicle is idle it departs immediately. `serves_order` increments
+  /// the assigned-order counter and marks the vehicle used.
+  void ApplyNewSuffix(std::vector<Stop> new_suffix, bool serves_order);
+
+  /// Runs the route to completion (including the return-to-depot leg) and
+  /// returns the total route length in km; 0 for a never-used vehicle.
+  double FinishRoute();
+
+  /// Current clock of this vehicle (last AdvanceTo / apply time).
+  double clock() const { return clock_; }
+
+ private:
+  enum class Phase { kIdle, kDriving, kServing };
+
+  const Order& LookupOrder(int id) const;
+  double TravelMinutes(int from, int to) const;
+  /// Starts driving toward stops_[next_idx_] at `depart_time`.
+  void Depart(double depart_time);
+  /// Predicted completion time of service at the stop being driven
+  /// to/served (valid when phase != kIdle).
+  double PredictedServiceEnd() const;
+
+  int id_;
+  int depot_;
+  const Instance* instance_;
+  const RoadNetwork* net_;
+
+  std::vector<Stop> stops_;
+  size_t next_idx_ = 0;  ///< Stop being driven to / served; == size if none.
+  Phase phase_ = Phase::kIdle;
+  double clock_ = 0.0;
+
+  int idle_node_;           ///< Valid when kIdle.
+  int from_node_ = -1;      ///< Valid when kDriving.
+  double depart_time_ = 0.0;
+  double arrive_time_ = 0.0;
+  double service_end_ = 0.0;  ///< Valid when kServing.
+
+  std::vector<int> onboard_;  ///< LIFO stack of order ids.
+  double load_ = 0.0;
+  double committed_length_ = 0.0;
+  bool used_ = false;
+  bool finished_ = false;
+  bool record_visits_ = true;
+  int num_assigned_orders_ = 0;
+  std::vector<VisitRecord> visits_;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_SIM_VEHICLE_STATE_H_

@@ -1,0 +1,65 @@
+#include "stpred/divergence.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace dpdp {
+
+std::vector<double> NormalizeDistribution(const std::vector<double>& v,
+                                          double eps) {
+  DPDP_CHECK(eps > 0.0);
+  std::vector<double> out(v.size());
+  double total = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = (v[i] > 0.0 ? v[i] : 0.0) + eps;
+    total += out[i];
+  }
+  for (double& x : out) x /= total;
+  return out;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  DPDP_CHECK(p.size() == q.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    DPDP_CHECK(q[i] > 0.0);
+    if (p[i] <= 0.0) continue;
+    kl += p[i] * std::log(p[i] / q[i]);
+  }
+  return kl;
+}
+
+double JsDivergence(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  DPDP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  const std::vector<double> p = NormalizeDistribution(a);
+  const std::vector<double> q = NormalizeDistribution(b);
+  std::vector<double> m(p.size());
+  for (size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * KlDivergence(p, m) + 0.5 * KlDivergence(q, m);
+}
+
+double SymmetricKlDivergence(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  DPDP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  const std::vector<double> p = NormalizeDistribution(a);
+  const std::vector<double> q = NormalizeDistribution(b);
+  return 0.5 * (KlDivergence(p, q) + KlDivergence(q, p));
+}
+
+double Divergence(DivergenceKind kind, const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  switch (kind) {
+    case DivergenceKind::kJensenShannon:
+      return JsDivergence(a, b);
+    case DivergenceKind::kSymmetricKl:
+      return SymmetricKlDivergence(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace dpdp

@@ -1,0 +1,39 @@
+#ifndef DPDP_STPRED_DIVERGENCE_H_
+#define DPDP_STPRED_DIVERGENCE_H_
+
+#include <vector>
+
+namespace dpdp {
+
+/// Divergence metric used by the ST Score (Definition 5). The paper adopts
+/// Jensen-Shannon; symmetric KL is the supplementary-material alternative.
+enum class DivergenceKind { kJensenShannon, kSymmetricKl };
+
+/// Normalizes a non-negative vector into a probability distribution with
+/// additive smoothing `eps` (guards empty/zero vectors: the result is then
+/// uniform). Negative inputs are clamped to zero first.
+std::vector<double> NormalizeDistribution(const std::vector<double>& v,
+                                          double eps = 1e-9);
+
+/// KL(p || q) over distributions of equal length (natural log). Both inputs
+/// must already be smoothed/normalized; q entries must be positive.
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q);
+
+/// Jensen-Shannon divergence of two non-negative vectors of equal length.
+/// Inputs are normalized internally; the result lies in [0, ln 2].
+double JsDivergence(const std::vector<double>& a,
+                    const std::vector<double>& b);
+
+/// Symmetrized KL: 0.5 * (KL(p||q) + KL(q||p)), inputs normalized
+/// internally with smoothing.
+double SymmetricKlDivergence(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Dispatch on `kind`.
+double Divergence(DivergenceKind kind, const std::vector<double>& a,
+                  const std::vector<double>& b);
+
+}  // namespace dpdp
+
+#endif  // DPDP_STPRED_DIVERGENCE_H_

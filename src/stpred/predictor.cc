@@ -1,0 +1,48 @@
+#include "stpred/predictor.h"
+
+namespace dpdp {
+namespace {
+
+Status ValidateHistory(const std::vector<nn::Matrix>& history) {
+  if (history.empty()) {
+    return Status::InvalidArgument("predictor needs at least one day");
+  }
+  for (const nn::Matrix& m : history) {
+    if (m.rows() != history[0].rows() || m.cols() != history[0].cols()) {
+      return Status::InvalidArgument("history matrices differ in shape");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<nn::Matrix> AverageStdPredictor::Predict(
+    const std::vector<nn::Matrix>& history) const {
+  DPDP_RETURN_IF_ERROR(ValidateHistory(history));
+  size_t start = 0;
+  if (window_ > 0 && history.size() > static_cast<size_t>(window_)) {
+    start = history.size() - static_cast<size_t>(window_);
+  }
+  nn::Matrix sum(history[0].rows(), history[0].cols());
+  for (size_t d = start; d < history.size(); ++d) {
+    sum.AddInPlace(history[d]);
+  }
+  return sum.Scale(1.0 / static_cast<double>(history.size() - start));
+}
+
+Result<nn::Matrix> EwmaStdPredictor::Predict(
+    const std::vector<nn::Matrix>& history) const {
+  DPDP_RETURN_IF_ERROR(ValidateHistory(history));
+  if (alpha_ <= 0.0 || alpha_ > 1.0) {
+    return Status::InvalidArgument("EWMA alpha must be in (0, 1]");
+  }
+  nn::Matrix acc = history[0];
+  for (size_t d = 1; d < history.size(); ++d) {
+    acc = acc.Scale(1.0 - alpha_);
+    acc.AddScaled(history[d], alpha_);
+  }
+  return acc;
+}
+
+}  // namespace dpdp

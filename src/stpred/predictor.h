@@ -1,0 +1,53 @@
+#ifndef DPDP_STPRED_PREDICTOR_H_
+#define DPDP_STPRED_PREDICTOR_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/result.h"
+
+namespace dpdp {
+
+/// Predicts the next day's STD matrix from the STD matrices of past
+/// consecutive days (most recent last). Equation (3) of the paper applies
+/// an aggregate function G element-wise over the per-day history.
+class StdPredictor {
+ public:
+  virtual ~StdPredictor() = default;
+
+  /// `history` must be non-empty with identically shaped matrices.
+  virtual Result<nn::Matrix> Predict(
+      const std::vector<nn::Matrix>& history) const = 0;
+};
+
+/// The paper's production choice of G: the plain average over the last
+/// `window` days (all of `history` when window <= 0).
+class AverageStdPredictor : public StdPredictor {
+ public:
+  explicit AverageStdPredictor(int window = 0) : window_(window) {}
+
+  Result<nn::Matrix> Predict(
+      const std::vector<nn::Matrix>& history) const override;
+
+ private:
+  int window_;
+};
+
+/// Exponentially weighted moving average: weight alpha for the most recent
+/// day, decaying by (1 - alpha) per day backwards. A drop-in "advanced"
+/// predictor per the paper's remark that better G functions can be plugged
+/// in directly.
+class EwmaStdPredictor : public StdPredictor {
+ public:
+  explicit EwmaStdPredictor(double alpha = 0.5) : alpha_(alpha) {}
+
+  Result<nn::Matrix> Predict(
+      const std::vector<nn::Matrix>& history) const override;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_STPRED_PREDICTOR_H_

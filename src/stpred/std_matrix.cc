@@ -1,0 +1,35 @@
+#include "stpred/std_matrix.h"
+
+namespace dpdp {
+
+nn::Matrix BuildStdMatrix(const RoadNetwork& network,
+                          const std::vector<Order>& orders,
+                          int num_intervals, double horizon_min) {
+  nn::Matrix e(network.num_factories(), num_intervals);
+  for (const Order& o : orders) {
+    const int ordinal = network.FactoryOrdinal(o.pickup_node);
+    if (ordinal < 0) continue;  // Orders originating at depots are skipped.
+    const int interval =
+        TimeIntervalIndex(o.create_time_min, num_intervals, horizon_min);
+    e(ordinal, interval) += o.quantity;
+  }
+  return e;
+}
+
+void AddCapacityVisit(const RoadNetwork& network, int node, double time_min,
+                      double residual_capacity, int num_intervals,
+                      double horizon_min, nn::Matrix* capacity_matrix) {
+  DPDP_CHECK(capacity_matrix != nullptr);
+  DPDP_CHECK(capacity_matrix->rows() == network.num_factories());
+  DPDP_CHECK(capacity_matrix->cols() == num_intervals);
+  const int ordinal = network.FactoryOrdinal(node);
+  if (ordinal < 0) return;  // Depot visits do not carry delivery capacity.
+  const int interval = TimeIntervalIndex(time_min, num_intervals, horizon_min);
+  (*capacity_matrix)(ordinal, interval) += residual_capacity;
+}
+
+double DistributionDiff(const nn::Matrix& demand, const nn::Matrix& capacity) {
+  return demand.FrobeniusDistance(capacity);
+}
+
+}  // namespace dpdp

@@ -1,0 +1,34 @@
+#ifndef DPDP_STPRED_STD_MATRIX_H_
+#define DPDP_STPRED_STD_MATRIX_H_
+
+#include <vector>
+
+#include "model/order.h"
+#include "net/road_network.h"
+#include "nn/matrix.h"
+
+namespace dpdp {
+
+/// Builds the STD matrix of Definition 1: an (num_factories x T) matrix
+/// whose (i, j) entry is the total cargo quantity of orders created at
+/// factory F_i (the pickup node) within time interval TI_j.
+nn::Matrix BuildStdMatrix(const RoadNetwork& network,
+                          const std::vector<Order>& orders,
+                          int num_intervals = kDefaultNumIntervals,
+                          double horizon_min = kMinutesPerDay);
+
+/// Spatial-temporal *capacity* distribution: the (num_factories x T) matrix
+/// accumulating, for each (factory, interval) visit, how much residual
+/// delivery capacity the fleet brought there (used by Fig. 9). Callers add
+/// visits one at a time via AddCapacityVisit.
+void AddCapacityVisit(const RoadNetwork& network, int node, double time_min,
+                      double residual_capacity, int num_intervals,
+                      double horizon_min, nn::Matrix* capacity_matrix);
+
+/// Frobenius-norm difference between two equally-shaped distribution
+/// matrices — the "Diff" metric of Fig. 9.
+double DistributionDiff(const nn::Matrix& demand, const nn::Matrix& capacity);
+
+}  // namespace dpdp
+
+#endif  // DPDP_STPRED_STD_MATRIX_H_

@@ -1,0 +1,65 @@
+#ifndef DPDP_UTIL_RESULT_H_
+#define DPDP_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dpdp {
+
+/// A value-or-Status container, analogous to absl::StatusOr / arrow::Result.
+///
+/// Usage:
+///   Result<Route> r = planner.PlanInsertion(order);
+///   if (!r.ok()) return r.status();
+///   const Route& route = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DPDP_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DPDP_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    DPDP_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    DPDP_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its Status on error and
+/// otherwise binding its value to `lhs`.
+#define DPDP_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto _dpdp_result_##__LINE__ = (rexpr);          \
+  if (!_dpdp_result_##__LINE__.ok()) {             \
+    return _dpdp_result_##__LINE__.status();       \
+  }                                                \
+  lhs = std::move(_dpdp_result_##__LINE__).value()
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_RESULT_H_

@@ -1,0 +1,45 @@
+#ifndef DPDP_UTIL_STATS_H_
+#define DPDP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpdp {
+
+/// Streaming univariate statistics (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `xs`; 0 when empty.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation of `xs`; 0 for fewer than two samples.
+double Stddev(const std::vector<double>& xs);
+
+/// Median (average of middle two for even sizes); 0 when empty.
+double Median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 when empty.
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_STATS_H_

@@ -1,0 +1,115 @@
+#ifndef DPDP_UTIL_STATUS_H_
+#define DPDP_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dpdp {
+
+/// Error codes used across the library. Library code reports recoverable
+/// failures through Status / Result<T> instead of exceptions, following the
+/// RocksDB convention.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInfeasible,       ///< No feasible route / assignment exists.
+  kResourceExhausted,
+  kTimeout,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("Ok", "Infeasible", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (empty message); carries a code + message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+/// Hard invariant check: aborts with a diagnostic on failure. Used for
+/// programmer errors, not for recoverable conditions (use Status there).
+#define DPDP_CHECK(expr)                                             \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dpdp::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                                \
+  } while (0)
+
+#define DPDP_CHECK_OK(status_expr)                                         \
+  do {                                                                     \
+    const ::dpdp::Status _dpdp_st = (status_expr);                         \
+    if (!_dpdp_st.ok()) {                                                  \
+      ::dpdp::internal::CheckFailed(__FILE__, __LINE__, #status_expr,      \
+                                    _dpdp_st.ToString());                  \
+    }                                                                      \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define DPDP_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::dpdp::Status _dpdp_st = (expr);         \
+    if (!_dpdp_st.ok()) return _dpdp_st;      \
+  } while (0)
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_STATUS_H_

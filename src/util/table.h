@@ -1,0 +1,42 @@
+#ifndef DPDP_UTIL_TABLE_H_
+#define DPDP_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpdp {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// (for the paper-style tables printed by bench binaries) or as CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders an aligned, pipe-separated table with a header rule.
+  std::string ToString() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.ToString();
+}
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_TABLE_H_

@@ -1,0 +1,28 @@
+#ifndef DPDP_UTIL_TIMER_H_
+#define DPDP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dpdp {
+
+/// Monotonic wall-clock stopwatch used for the paper's wall-time columns.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_TIMER_H_

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <sstream>
+
+#include "baselines/greedy_baselines.h"
+#include "rl/actor_critic.h"
+#include "rl/config.h"
+#include "rl/dqn_agent.h"
+#include "rl/trainer.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace dpdp {
+namespace {
+
+using testing::MakeOrder;
+using testing::MakeTestInstance;
+
+/// A day of 8 orders where packing everything onto few vehicles is clearly
+/// optimal (generous windows, shared corridors).
+Instance TrainingInstance() {
+  std::vector<Order> orders;
+  for (int i = 0; i < 8; ++i) {
+    const int pickup = 1 + (i % 2);       // F1 or F2.
+    const int delivery = pickup == 1 ? 2 : 1;
+    const double t = 40.0 * i;
+    orders.push_back(MakeOrder(i, pickup, delivery, 10.0, t, t + 300.0));
+  }
+  return MakeTestInstance(orders, /*num_vehicles=*/4);
+}
+
+AgentConfig FastConfig(bool graph, uint64_t seed) {
+  AgentConfig c = graph ? MakeStDdgnConfig(seed) : MakeDdqnConfig(seed);
+  c.hidden_dim = 16;
+  c.epsilon_decay_episodes = 15;
+  c.updates_per_episode = 4;
+  return c;
+}
+
+TEST(DqnAgent, UntrainedAgentIsValidDispatcher) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  DqnFleetAgent agent(FastConfig(false, 1), "DDQN");
+  const EpisodeResult r = sim.RunEpisode(&agent);
+  EXPECT_TRUE(r.all_served());
+  EXPECT_GE(r.nuv, 1.0);
+}
+
+TEST(DqnAgent, TrainingImprovesOverUntrained) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+
+  DqnFleetAgent untrained(FastConfig(false, 5), "DDQN");
+  const double tc_untrained = sim.RunEpisode(&untrained).total_cost;
+
+  DqnFleetAgent agent(FastConfig(false, 5), "DDQN");
+  agent.set_training(true);
+  TrainOptions options;
+  options.episodes = 30;
+  RunEpisodes(&sim, &agent, options);
+  agent.set_training(false);
+  const double tc_trained = sim.RunEpisode(&agent).total_cost;
+
+  EXPECT_LE(tc_trained, tc_untrained + 1e-9);
+  // The optimum here is one vehicle shuttling F1 <-> F2; training should
+  // get within striking distance of the greedy baseline.
+  MinIncrementalLengthDispatcher baseline;
+  const double tc_baseline = sim.RunEpisode(&baseline).total_cost;
+  EXPECT_LE(tc_trained, 2.0 * tc_baseline);
+}
+
+TEST(DqnAgent, GraphVariantTrains) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  DqnFleetAgent agent(FastConfig(true, 7), "ST-DDGN");
+  agent.set_training(true);
+  TrainOptions options;
+  options.episodes = 20;
+  const TrainingCurve curve = RunEpisodes(&sim, &agent, options);
+  EXPECT_EQ(curve.nuv.size(), 20u);
+  EXPECT_EQ(agent.episodes_trained(), 20);
+  // Late-training NUV should not exceed early-training NUV on average.
+  EXPECT_LE(TrainingCurve::TailMean(curve.nuv, 5),
+            TrainingCurve::TailMean(std::vector<double>(
+                curve.nuv.begin(), curve.nuv.begin() + 5), 5) + 1e-9);
+}
+
+TEST(DqnAgent, EpsilonDecaysLinearly) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  AgentConfig config = FastConfig(false, 9);
+  config.epsilon_start = 1.0;
+  config.epsilon_end = 0.1;
+  config.epsilon_decay_episodes = 10;
+  DqnFleetAgent agent(config, "DDQN");
+  agent.set_training(true);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 1.0);
+  TrainOptions options;
+  options.episodes = 5;
+  RunEpisodes(&sim, &agent, options);
+  EXPECT_NEAR(agent.epsilon(), 0.55, 1e-9);
+  options.episodes = 10;
+  RunEpisodes(&sim, &agent, options);
+  EXPECT_NEAR(agent.epsilon(), 0.1, 1e-9);  // Clamped at end value.
+}
+
+TEST(DqnAgent, EvalModeIsDeterministic) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  DqnFleetAgent agent(FastConfig(false, 11), "DDQN");
+  const EpisodeResult a = sim.RunEpisode(&agent);
+  const EpisodeResult b = sim.RunEpisode(&agent);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+TEST(DqnAgent, SaveLoadReproducesPolicy) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  DqnFleetAgent agent(FastConfig(true, 13), "ST-DDGN");
+  agent.set_training(true);
+  TrainOptions options;
+  options.episodes = 5;
+  RunEpisodes(&sim, &agent, options);
+  agent.set_training(false);
+  const double tc = sim.RunEpisode(&agent).total_cost;
+
+  std::stringstream buffer;
+  agent.Save(&buffer);
+  DqnFleetAgent restored(FastConfig(true, 999), "ST-DDGN");
+  ASSERT_TRUE(restored.Load(&buffer));
+  EXPECT_DOUBLE_EQ(sim.RunEpisode(&restored).total_cost, tc);
+}
+
+TEST(DqnAgent, QValuesMarkInfeasibleMinusInfinity) {
+  // One order too heavy for a loaded vehicle forces infeasibility paths.
+  const Instance inst = TrainingInstance();
+  SimulatorConfig sc;
+  Simulator sim(&inst, sc);
+
+  class Probe : public Dispatcher {
+   public:
+    explicit Probe(DqnFleetAgent* agent) : agent_(agent) {}
+    const char* name() const override { return "probe"; }
+    int ChooseVehicle(const DispatchContext& ctx) override {
+      const std::vector<double> q = agent_->QValues(ctx);
+      EXPECT_EQ(q.size(), ctx.options.size());
+      for (size_t v = 0; v < q.size(); ++v) {
+        if (!ctx.options[v].feasible) {
+          EXPECT_TRUE(std::isinf(q[v]) && q[v] < 0);
+        } else {
+          EXPECT_TRUE(std::isfinite(q[v]));
+        }
+      }
+      for (const VehicleOption& o : ctx.options) {
+        if (o.feasible) return o.vehicle;
+      }
+      return -1;
+    }
+    DqnFleetAgent* agent_;
+  };
+  DqnFleetAgent agent(FastConfig(false, 15), "DDQN");
+  Probe probe(&agent);
+  (void)sim.RunEpisode(&probe);
+}
+
+TEST(DqnAgent, LiteralRewardFlagChangesRewards) {
+  // Smoke test: the literal Eq.(6) variant still trains and dispatches.
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  AgentConfig config = FastConfig(false, 17);
+  config.literal_used_flag_cost = true;
+  DqnFleetAgent agent(config, "DDQN-literal");
+  agent.set_training(true);
+  TrainOptions options;
+  options.episodes = 10;
+  RunEpisodes(&sim, &agent, options);
+  agent.set_training(false);
+  EXPECT_TRUE(sim.RunEpisode(&agent).all_served());
+}
+
+TEST(DqnAgent, BestWeightsSnapshotRestores) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  AgentConfig config = FastConfig(false, 31);
+  config.track_best_weights = true;
+  config.best_weights_max_epsilon = 1.0;  // Every episode is a candidate.
+  DqnFleetAgent agent(config, "DDQN");
+  agent.set_training(true);
+  TrainOptions options;
+  options.episodes = 12;
+  const TrainingCurve curve = RunEpisodes(&sim, &agent, options);
+  agent.set_training(false);
+  agent.FinalizeTraining();
+  const double tc_restored = sim.RunEpisode(&agent).total_cost;
+  // The greedy policy from restored weights should not be dramatically
+  // worse than the best training episode (training episodes include
+  // exploration noise, so exact equality is not expected).
+  const double best_training =
+      *std::min_element(curve.total_cost.begin(), curve.total_cost.end());
+  EXPECT_LE(tc_restored, 2.0 * best_training);
+}
+
+TEST(DqnAgent, FinalizeTrainingWithoutSnapshotIsNoop) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  AgentConfig config = FastConfig(false, 33);
+  config.track_best_weights = false;
+  DqnFleetAgent agent(config, "DDQN");
+  const double before = sim.RunEpisode(&agent).total_cost;
+  agent.FinalizeTraining();  // No snapshot exists: must not change weights.
+  EXPECT_DOUBLE_EQ(sim.RunEpisode(&agent).total_cost, before);
+}
+
+// ---------------------------------------------------------- ActorCritic --
+
+TEST(ActorCritic, UntrainedAgentIsValidDispatcher) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  ActorCriticAgent agent(FastConfig(false, 19), "AC");
+  const EpisodeResult r = sim.RunEpisode(&agent);
+  EXPECT_TRUE(r.all_served());
+}
+
+TEST(ActorCritic, PolicySumsToOneOverFeasible) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  ActorCriticAgent agent(FastConfig(false, 21), "AC");
+
+  class Probe : public Dispatcher {
+   public:
+    explicit Probe(ActorCriticAgent* agent) : agent_(agent) {}
+    const char* name() const override { return "probe"; }
+    int ChooseVehicle(const DispatchContext& ctx) override {
+      const std::vector<double> pi = agent_->Policy(ctx);
+      double sum = 0.0;
+      for (size_t v = 0; v < pi.size(); ++v) {
+        if (!ctx.options[v].feasible) EXPECT_DOUBLE_EQ(pi[v], 0.0);
+        sum += pi[v];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+      for (const VehicleOption& o : ctx.options) {
+        if (o.feasible) return o.vehicle;
+      }
+      return -1;
+    }
+    ActorCriticAgent* agent_;
+  };
+  Probe probe(&agent);
+  (void)sim.RunEpisode(&probe);
+}
+
+TEST(ActorCritic, TrainingRunsAndTracksEpisodes) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  ActorCriticAgent agent(FastConfig(false, 23), "AC");
+  agent.set_training(true);
+  TrainOptions options;
+  options.episodes = 15;
+  const TrainingCurve curve = RunEpisodes(&sim, &agent, options);
+  EXPECT_EQ(agent.episodes_trained(), 15);
+  EXPECT_EQ(curve.total_cost.size(), 15u);
+  // Losses are finite after training.
+  EXPECT_TRUE(std::isfinite(agent.last_policy_loss()));
+  EXPECT_TRUE(std::isfinite(agent.last_value_loss()));
+}
+
+TEST(ActorCritic, GraphVariantDispatchesAndTrains) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  AgentConfig config = FastConfig(true, 41);  // Graph flags on.
+  ActorCriticAgent agent(config, "Graph-AC");
+  EXPECT_TRUE(sim.RunEpisode(&agent).all_served());
+  agent.set_training(true);
+  TrainOptions options;
+  options.episodes = 8;
+  RunEpisodes(&sim, &agent, options);
+  agent.set_training(false);
+  EXPECT_TRUE(sim.RunEpisode(&agent).all_served());
+  EXPECT_EQ(agent.episodes_trained(), 8);
+}
+
+// -------------------------------------------------------------- Trainer --
+
+TEST(Trainer, RecordsCapacityDiffWhenDemandGiven) {
+  const Instance inst = TrainingInstance();
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  TrainOptions options;
+  options.episodes = 3;
+  options.demand_for_diff = nn::Matrix(4, 144, 1.0);
+  const TrainingCurve curve = RunEpisodes(&sim, &baseline, options);
+  EXPECT_EQ(curve.capacity_diff.size(), 3u);
+  EXPECT_GT(curve.capacity_diff[0], 0.0);
+  // Deterministic baseline: identical every episode.
+  EXPECT_DOUBLE_EQ(curve.capacity_diff[0], curve.capacity_diff[2]);
+}
+
+TEST(Trainer, TailMeanHandlesShortSeries) {
+  EXPECT_DOUBLE_EQ(TrainingCurve::TailMean({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(TrainingCurve::TailMean({2.0, 4.0}, 5), 3.0);
+  EXPECT_DOUBLE_EQ(TrainingCurve::TailMean({1.0, 2.0, 3.0, 4.0}, 2), 3.5);
+}
+
+}  // namespace
+}  // namespace dpdp

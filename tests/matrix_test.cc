@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/matrix.h"
+
+namespace dpdp::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m.SumAll(), 0.0);
+}
+
+TEST(Matrix, FromRowsAndIdentity) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  const Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 2), 0.0);
+}
+
+TEST(Matrix, MatMulAgainstHandResult) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}});
+  const Matrix c = a.MatMul(b);
+  EXPECT_TRUE(c.AllClose(Matrix::FromRows({{58, 64}, {139, 154}})));
+}
+
+TEST(Matrix, MatMulTransposedMatchesExplicitTranspose) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::FromRows({{1, 0, 1}, {2, 1, 0}, {0, 3, 2},
+                                     {1, 1, 1}});
+  EXPECT_TRUE(a.MatMulTransposed(b).AllClose(a.MatMul(b.Transpose())));
+}
+
+TEST(Matrix, TransposedMatMulMatchesExplicitTranspose) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::FromRows({{1, 0}, {2, 1}});
+  EXPECT_TRUE(a.TransposedMatMul(b).AllClose(a.Transpose().MatMul(b)));
+}
+
+TEST(Matrix, ElementwiseOps) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  EXPECT_TRUE(a.Add(b).AllClose(Matrix::FromRows({{11, 22}, {33, 44}})));
+  EXPECT_TRUE(b.Sub(a).AllClose(Matrix::FromRows({{9, 18}, {27, 36}})));
+  EXPECT_TRUE(
+      a.Hadamard(b).AllClose(Matrix::FromRows({{10, 40}, {90, 160}})));
+  EXPECT_TRUE(a.Scale(2.0).AllClose(Matrix::FromRows({{2, 4}, {6, 8}})));
+}
+
+TEST(Matrix, AddScaledAndInPlace) {
+  Matrix a = Matrix::FromRows({{1, 1}});
+  a.AddScaled(Matrix::FromRows({{2, 4}}), 0.5);
+  EXPECT_TRUE(a.AllClose(Matrix::FromRows({{2, 3}})));
+  a.AddInPlace(Matrix::FromRows({{1, 1}}));
+  EXPECT_TRUE(a.AllClose(Matrix::FromRows({{3, 4}})));
+}
+
+TEST(Matrix, RowBroadcastAndSumRows) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix row = Matrix::FromRows({{10, 20}});
+  EXPECT_TRUE(a.AddRowBroadcast(row).AllClose(
+      Matrix::FromRows({{11, 22}, {13, 24}})));
+  EXPECT_TRUE(a.SumRows().AllClose(Matrix::FromRows({{4, 6}})));
+}
+
+TEST(Matrix, RowAccessors) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(a.Row(1).AllClose(Matrix::FromRows({{3, 4}})));
+  a.SetRow(0, Matrix::FromRows({{9, 9}}));
+  EXPECT_DOUBLE_EQ(a(0, 0), 9.0);
+}
+
+TEST(Matrix, SoftmaxRowsSumToOneAndOrder) {
+  const Matrix logits = Matrix::FromRows({{1.0, 2.0, 3.0}, {0.0, 0.0, 0.0}});
+  const Matrix p = logits.SoftmaxRows();
+  for (int r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) sum += p(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(p(0, 2), p(0, 1));
+  EXPECT_GT(p(0, 1), p(0, 0));
+  EXPECT_NEAR(p(1, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Matrix, SoftmaxNumericallyStableForLargeLogits) {
+  const Matrix logits = Matrix::FromRows({{1000.0, 1001.0}});
+  const Matrix p = logits.SoftmaxRows();
+  EXPECT_NEAR(p(0, 0) + p(0, 1), 1.0, 1e-12);
+  EXPECT_GT(p(0, 1), p(0, 0));
+}
+
+TEST(Matrix, Norms) {
+  const Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  const Matrix b = Matrix::FromRows({{0, 0}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusDistance(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAll(), 4.0);
+}
+
+TEST(Matrix, AllCloseShapeMismatchIsFalse) {
+  EXPECT_FALSE(Matrix(1, 2).AllClose(Matrix(2, 1)));
+}
+
+TEST(Matrix, DebugStringTruncates) {
+  const Matrix m(20, 20, 1.0);
+  const std::string s = m.DebugString(2, 2);
+  EXPECT_NE(s.find("Matrix(20x20)"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpdp::nn

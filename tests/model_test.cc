@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "model/instance.h"
+#include "model/order.h"
+#include "model/vehicle.h"
+#include "tests/test_util.h"
+
+namespace dpdp {
+namespace {
+
+using testing::MakeOrder;
+using testing::MakeTestInstance;
+
+// -------------------------------------------------------- TimeInterval ----
+
+TEST(TimeInterval, MapsMinutesToTenMinuteBuckets) {
+  EXPECT_EQ(TimeIntervalIndex(0.0, 144), 0);
+  EXPECT_EQ(TimeIntervalIndex(9.99, 144), 0);
+  EXPECT_EQ(TimeIntervalIndex(10.0, 144), 1);  // Left-closed, right-open.
+  EXPECT_EQ(TimeIntervalIndex(719.0, 144), 71);
+  EXPECT_EQ(TimeIntervalIndex(1439.99, 144), 143);
+}
+
+TEST(TimeInterval, ClampsOutOfRange) {
+  EXPECT_EQ(TimeIntervalIndex(-5.0, 144), 0);
+  EXPECT_EQ(TimeIntervalIndex(2000.0, 144), 143);
+}
+
+TEST(TimeInterval, CustomDiscretization) {
+  EXPECT_EQ(TimeIntervalIndex(30.0, 24, 1440.0), 0);
+  EXPECT_EQ(TimeIntervalIndex(60.0, 24, 1440.0), 1);
+  EXPECT_EQ(TimeIntervalIndex(719.0, 2, 1440.0), 0);
+  EXPECT_EQ(TimeIntervalIndex(721.0, 2, 1440.0), 1);
+}
+
+// --------------------------------------------------------------- Order ----
+
+TEST(Order, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(ValidateOrder(MakeOrder(0, 1, 2, 5.0, 10.0, 100.0), 5).ok());
+}
+
+TEST(Order, ValidateRejectsBadNodes) {
+  EXPECT_FALSE(ValidateOrder(MakeOrder(0, -1, 2, 5.0, 0.0, 1.0), 5).ok());
+  EXPECT_FALSE(ValidateOrder(MakeOrder(0, 1, 7, 5.0, 0.0, 1.0), 5).ok());
+  EXPECT_FALSE(ValidateOrder(MakeOrder(0, 2, 2, 5.0, 0.0, 1.0), 5).ok());
+}
+
+TEST(Order, ValidateRejectsBadQuantityAndWindow) {
+  EXPECT_FALSE(ValidateOrder(MakeOrder(0, 1, 2, 0.0, 0.0, 1.0), 5).ok());
+  EXPECT_FALSE(ValidateOrder(MakeOrder(0, 1, 2, -2.0, 0.0, 1.0), 5).ok());
+  EXPECT_FALSE(ValidateOrder(MakeOrder(0, 1, 2, 1.0, 10.0, 10.0), 5).ok());
+  EXPECT_FALSE(ValidateOrder(MakeOrder(0, 1, 2, 1.0, 10.0, 5.0), 5).ok());
+}
+
+TEST(Order, CanonicalizeSortsAndRenumbers) {
+  std::vector<Order> orders{MakeOrder(7, 1, 2, 1.0, 300.0, 400.0),
+                            MakeOrder(3, 2, 3, 1.0, 100.0, 200.0),
+                            MakeOrder(9, 3, 4, 1.0, 200.0, 300.0)};
+  CanonicalizeOrders(&orders);
+  ASSERT_EQ(orders.size(), 3u);
+  EXPECT_EQ(orders[0].id, 0);
+  EXPECT_DOUBLE_EQ(orders[0].create_time_min, 100.0);
+  EXPECT_EQ(orders[2].id, 2);
+  EXPECT_DOUBLE_EQ(orders[2].create_time_min, 300.0);
+}
+
+TEST(Order, CanonicalizeIsStableOnTies) {
+  std::vector<Order> orders{MakeOrder(1, 1, 2, 1.0, 100.0, 200.0),
+                            MakeOrder(2, 2, 3, 1.0, 100.0, 200.0)};
+  CanonicalizeOrders(&orders);
+  EXPECT_EQ(orders[0].pickup_node, 1);  // Original relative order kept.
+  EXPECT_EQ(orders[1].pickup_node, 2);
+}
+
+TEST(Order, DebugStringMentionsFields) {
+  const std::string s = MakeOrder(5, 1, 2, 7.5, 10.0, 90.0).DebugString();
+  EXPECT_NE(s.find("id=5"), std::string::npos);
+  EXPECT_NE(s.find("q=7.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- Stop ----
+
+TEST(Stop, EqualityAndDebugString) {
+  const Stop a{1, 2, StopType::kPickup};
+  const Stop b{1, 2, StopType::kPickup};
+  const Stop c{1, 2, StopType::kDelivery};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.DebugString(), "P(o2@n1)");
+  EXPECT_EQ(c.DebugString(), "D(o2@n1)");
+}
+
+// ------------------------------------------------------------ Instance ----
+
+TEST(Instance, ValidateAcceptsWellFormed) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  EXPECT_TRUE(ValidateInstance(inst).ok());
+  EXPECT_EQ(inst.num_vehicles(), 2);
+  EXPECT_EQ(inst.num_orders(), 1);
+}
+
+TEST(Instance, ValidateRejectsNonCanonicalIds) {
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  inst.orders[0].id = 3;
+  EXPECT_FALSE(ValidateInstance(inst).ok());
+}
+
+TEST(Instance, ValidateRejectsUnsortedOrders) {
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0),
+                                    MakeOrder(1, 2, 3, 5.0, 50.0, 200.0)});
+  std::swap(inst.orders[0].create_time_min, inst.orders[1].create_time_min);
+  EXPECT_FALSE(ValidateInstance(inst).ok());
+}
+
+TEST(Instance, ValidateRejectsOversizedOrder) {
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 2, 500.0, 10.0, 200.0)});
+  const Status s = ValidateInstance(inst);
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+}
+
+TEST(Instance, ValidateRejectsFactoryAsDepot) {
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  inst.vehicle_depots[0] = 1;  // Node 1 is a factory.
+  EXPECT_FALSE(ValidateInstance(inst).ok());
+}
+
+TEST(Instance, ValidateRejectsEmptyFleet) {
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  inst.vehicle_depots.clear();
+  EXPECT_FALSE(ValidateInstance(inst).ok());
+}
+
+TEST(Instance, ValidateRejectsBadConfig) {
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  inst.vehicle_config.speed_kmph = 0.0;
+  EXPECT_FALSE(ValidateInstance(inst).ok());
+}
+
+}  // namespace
+}  // namespace dpdp

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/road_network.h"
+#include "tests/test_util.h"
+
+namespace dpdp {
+namespace {
+
+TEST(RoadNetwork, FromCoordinatesEuclidean) {
+  const auto net = testing::MakeLineNetwork();
+  EXPECT_EQ(net->num_nodes(), 5);
+  EXPECT_EQ(net->num_depots(), 1);
+  EXPECT_EQ(net->num_factories(), 4);
+  EXPECT_DOUBLE_EQ(net->Distance(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(net->Distance(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(net->Distance(0, 2), 20.0);
+  EXPECT_NEAR(net->Distance(1, 3), 10.0, 1e-12);
+  EXPECT_NEAR(net->Distance(0, 3), std::sqrt(200.0), 1e-12);
+  EXPECT_DOUBLE_EQ(net->Distance(2, 2), 0.0);
+}
+
+TEST(RoadNetwork, RoadFactorScalesDistances) {
+  std::vector<NodeInfo> nodes(2);
+  nodes[0] = {0, NodeKind::kDepot, 0.0, 0.0, "d"};
+  nodes[1] = {1, NodeKind::kFactory, 3.0, 4.0, "f"};
+  const RoadNetwork net =
+      RoadNetwork::FromCoordinates(std::move(nodes), 1.5);
+  EXPECT_DOUBLE_EQ(net.Distance(0, 1), 7.5);
+  // Euclidean proximity is unscaled.
+  EXPECT_DOUBLE_EQ(net.EuclideanDistance(0, 1), 5.0);
+}
+
+TEST(RoadNetwork, TravelTimeMinutes) {
+  const auto net = testing::MakeLineNetwork();
+  // 10 km at 60 km/h = 10 minutes.
+  EXPECT_DOUBLE_EQ(net->TravelTimeMinutes(0, 1, 60.0), 10.0);
+  EXPECT_DOUBLE_EQ(net->TravelTimeMinutes(0, 2, 30.0), 40.0);
+}
+
+TEST(RoadNetwork, FactoryOrdinalsAreDense) {
+  const auto net = testing::MakeLineNetwork();
+  EXPECT_EQ(net->FactoryOrdinal(0), -1);  // Depot.
+  EXPECT_EQ(net->FactoryOrdinal(1), 0);
+  EXPECT_EQ(net->FactoryOrdinal(4), 3);
+  EXPECT_EQ(net->FactoryNode(0), 1);
+  EXPECT_EQ(net->FactoryNode(3), 4);
+  EXPECT_EQ(net->factory_ids().size(), 4u);
+  EXPECT_EQ(net->depot_ids().size(), 1u);
+}
+
+TEST(RoadNetwork, CreateValidatesShape) {
+  std::vector<NodeInfo> nodes(2);
+  nodes[0].kind = NodeKind::kDepot;
+  nodes[1].kind = NodeKind::kFactory;
+  EXPECT_FALSE(RoadNetwork::Create(nodes, nn::Matrix(3, 3)).ok());
+  EXPECT_FALSE(RoadNetwork::Create({}, nn::Matrix(0, 0)).ok());
+}
+
+TEST(RoadNetwork, CreateValidatesDiagonalAndSign) {
+  std::vector<NodeInfo> nodes(2);
+  nodes[0].kind = NodeKind::kDepot;
+  nodes[1].kind = NodeKind::kFactory;
+  nn::Matrix bad_diag(2, 2);
+  bad_diag(0, 0) = 1.0;
+  EXPECT_FALSE(RoadNetwork::Create(nodes, bad_diag).ok());
+  nn::Matrix negative(2, 2);
+  negative(0, 1) = -1.0;
+  EXPECT_FALSE(RoadNetwork::Create(nodes, negative).ok());
+}
+
+TEST(RoadNetwork, CreateAcceptsAsymmetricDistances) {
+  std::vector<NodeInfo> nodes(2);
+  nodes[0].kind = NodeKind::kDepot;
+  nodes[1].kind = NodeKind::kFactory;
+  nn::Matrix d(2, 2);
+  d(0, 1) = 5.0;
+  d(1, 0) = 9.0;  // One-way streets: directed graph.
+  const Result<RoadNetwork> net = RoadNetwork::Create(nodes, d);
+  ASSERT_TRUE(net.ok());
+  EXPECT_DOUBLE_EQ(net.value().Distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(net.value().Distance(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace dpdp

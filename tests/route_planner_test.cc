@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "routing/route_planner.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace dpdp {
+namespace {
+
+using testing::MakeOrder;
+using testing::MakeTestInstance;
+
+// The line network with 1 km/min speed and zero service time makes all
+// schedule arithmetic exact: depot(0,0), F1(10,0), F2(20,0), F3(10,10),
+// F4(0,10).
+
+class RoutePlannerTest : public ::testing::Test {
+ protected:
+  PlanAnchor DepotAnchor(double time = 0.0) const {
+    return PlanAnchor{0, time, {}};
+  }
+
+  Stop P(int order, const Instance& inst) const {
+    return {inst.order(order).pickup_node, order, StopType::kPickup};
+  }
+  Stop D(int order, const Instance& inst) const {
+    return {inst.order(order).delivery_node, order, StopType::kDelivery};
+  }
+};
+
+TEST_F(RoutePlannerTest, SimplePickupDeliverySchedule) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 100.0)});
+  RoutePlanner planner(&inst);
+  const auto r = planner.CheckSuffix(DepotAnchor(),
+                                     {P(0, inst), D(0, inst)}, 0);
+  ASSERT_TRUE(r.ok());
+  const SuffixSchedule& s = r.value();
+  ASSERT_EQ(s.stops.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.stops[0].arrival, 10.0);        // depot -> F1: 10 km.
+  EXPECT_DOUBLE_EQ(s.stops[0].service_start, 10.0);  // t_c = 0, no wait.
+  EXPECT_DOUBLE_EQ(s.stops[1].arrival, 20.0);        // F1 -> F2: 10 km.
+  EXPECT_DOUBLE_EQ(s.length, 10.0 + 10.0 + 20.0);    // ... + F2 -> depot.
+  EXPECT_DOUBLE_EQ(s.completion_time, 40.0);
+}
+
+TEST_F(RoutePlannerTest, PickupWaitsForOrderCreation) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 50.0, 200.0)});
+  RoutePlanner planner(&inst);
+  const auto r = planner.CheckSuffix(DepotAnchor(0.0),
+                                     {P(0, inst), D(0, inst)}, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().stops[0].arrival, 10.0);
+  EXPECT_DOUBLE_EQ(r.value().stops[0].service_start, 50.0);  // Waited.
+  EXPECT_DOUBLE_EQ(r.value().stops[1].arrival, 60.0);
+}
+
+TEST_F(RoutePlannerTest, LateDeliveryIsInfeasible) {
+  // Delivery needs 20 minutes driving; deadline at 15.
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 15.0)});
+  RoutePlanner planner(&inst);
+  const auto r = planner.CheckSuffix(DepotAnchor(),
+                                     {P(0, inst), D(0, inst)}, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(RoutePlannerTest, LifoRejectsFifoInterleaving) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 500.0),
+                        MakeOrder(1, 1, 2, 10.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  // P0 P1 D0 D1 delivers the bottom of the stack first: LIFO violation.
+  const auto fifo = planner.CheckSuffix(
+      DepotAnchor(), {P(0, inst), P(1, inst), D(0, inst), D(1, inst)}, 0);
+  EXPECT_FALSE(fifo.ok());
+  // P0 P1 D1 D0 nests correctly.
+  const auto lifo = planner.CheckSuffix(
+      DepotAnchor(), {P(0, inst), P(1, inst), D(1, inst), D(0, inst)}, 0);
+  EXPECT_TRUE(lifo.ok());
+}
+
+TEST_F(RoutePlannerTest, CapacityViolationDetected) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 60.0, 0.0, 500.0),
+                        MakeOrder(1, 1, 2, 60.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  // Both onboard at once: 120 > 100.
+  const auto r = planner.CheckSuffix(
+      DepotAnchor(), {P(0, inst), P(1, inst), D(1, inst), D(0, inst)}, 0);
+  EXPECT_FALSE(r.ok());
+  // Sequential service fits.
+  const auto seq = planner.CheckSuffix(
+      DepotAnchor(), {P(0, inst), D(0, inst), P(1, inst), D(1, inst)}, 0);
+  EXPECT_TRUE(seq.ok());
+}
+
+TEST_F(RoutePlannerTest, LeftoverCargoIsInfeasible) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  const auto r = planner.CheckSuffix(DepotAnchor(), {P(0, inst)}, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(RoutePlannerTest, AnchorOnboardMustBeDelivered) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  // Vehicle at F1 carrying order 0: delivering it is feasible...
+  PlanAnchor anchor{1, 30.0, {0}};
+  const auto ok = planner.CheckSuffix(anchor, {D(0, inst)}, 0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.value().stops[0].arrival, 40.0);
+  // ...but an empty suffix leaves it onboard.
+  EXPECT_FALSE(planner.CheckSuffix(anchor, {}, 0).ok());
+}
+
+TEST_F(RoutePlannerTest, ResidualCapacityProfile) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 30.0, 0.0, 500.0),
+                        MakeOrder(1, 2, 3, 20.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  const auto r = planner.CheckSuffix(
+      DepotAnchor(),
+      {P(0, inst), D(0, inst), P(1, inst), D(1, inst)}, 0);
+  ASSERT_TRUE(r.ok());
+  // Residual capacity on *arrival*: before any load, after dropping 30, ...
+  const std::vector<double>& rc = r.value().residual_capacity;
+  ASSERT_EQ(rc.size(), 4u);
+  EXPECT_DOUBLE_EQ(rc[0], 100.0);
+  EXPECT_DOUBLE_EQ(rc[1], 70.0);
+  EXPECT_DOUBLE_EQ(rc[2], 100.0);
+  EXPECT_DOUBLE_EQ(rc[3], 80.0);
+}
+
+TEST_F(RoutePlannerTest, SuffixLengthIncludesReturnLeg) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  EXPECT_DOUBLE_EQ(planner.SuffixLength(DepotAnchor(), {}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      planner.SuffixLength(DepotAnchor(), {P(0, inst), D(0, inst)}, 0),
+      40.0);
+  // Idle at F2: return leg only.
+  EXPECT_DOUBLE_EQ(planner.SuffixLength(PlanAnchor{2, 0.0, {}}, {}, 0),
+                   20.0);
+}
+
+TEST_F(RoutePlannerTest, BestInsertionIntoEmptyRoute) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  const auto r =
+      planner.BestInsertion(DepotAnchor(), {}, 0, inst.order(0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().pickup_pos, 0);
+  EXPECT_EQ(r.value().delivery_pos, 1);
+  EXPECT_EQ(r.value().suffix.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.value().incremental_length, 40.0);
+  EXPECT_EQ(planner.last_candidates_evaluated(), 1);
+}
+
+TEST_F(RoutePlannerTest, BestInsertionPrefersHitchhiking) {
+  // Existing route serves F1 -> F2. A second F1 -> F2 order should nest
+  // inside it (zero extra distance) rather than append a second loop.
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 500.0),
+                        MakeOrder(1, 1, 2, 10.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  const std::vector<Stop> existing{P(0, inst), D(0, inst)};
+  const auto r =
+      planner.BestInsertion(DepotAnchor(), existing, 0, inst.order(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().incremental_length, 0.0, 1e-9);
+  EXPECT_EQ(r.value().suffix.size(), 4u);
+}
+
+TEST_F(RoutePlannerTest, BestInsertionRespectsDeadlinePressure) {
+  // Order 1 has a tight deadline; inserting its delivery after order 0's
+  // detour would be late, so the planner must route it first.
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 3, 4, 10.0, 0.0, 1000.0),
+                        MakeOrder(1, 1, 2, 10.0, 0.0, 25.0)});
+  RoutePlanner planner(&inst);
+  const std::vector<Stop> existing{P(0, inst), D(0, inst)};
+  const auto r =
+      planner.BestInsertion(DepotAnchor(), existing, 0, inst.order(1));
+  ASSERT_TRUE(r.ok());
+  // Pickup and delivery of order 1 must come before order 0's stops.
+  EXPECT_EQ(r.value().pickup_pos, 0);
+  EXPECT_EQ(r.value().delivery_pos, 1);
+}
+
+TEST_F(RoutePlannerTest, BestInsertionInfeasibleWhenNoPlacementWorks) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 5.0)});
+  RoutePlanner planner(&inst);
+  const auto r =
+      planner.BestInsertion(DepotAnchor(), {}, 0, inst.order(0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+}
+
+TEST_F(RoutePlannerTest, CandidateCountIsQuadratic) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 1.0, 0.0, 5000.0),
+                        MakeOrder(1, 1, 2, 1.0, 0.0, 5000.0),
+                        MakeOrder(2, 3, 4, 1.0, 0.0, 5000.0)});
+  RoutePlanner planner(&inst);
+  const std::vector<Stop> existing{P(0, inst), D(0, inst), P(1, inst),
+                                   D(1, inst)};
+  (void)planner.BestInsertion(DepotAnchor(), existing, 0, inst.order(2));
+  // n = 4 old stops: (n+1)(n+2)/2 = 15 candidate placements.
+  EXPECT_EQ(planner.last_candidates_evaluated(), 15);
+}
+
+// --------------------------------------------------- Property sweeps ------
+
+struct SweepParam {
+  uint64_t seed;
+  int num_existing_orders;
+};
+
+class InsertionPropertyTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(InsertionPropertyTest, BestInsertionInvariants) {
+  const SweepParam param = GetParam();
+  Rng rng(param.seed);
+
+  // Random orders among the four factories with generous windows.
+  std::vector<Order> orders;
+  const int total = param.num_existing_orders + 1;
+  for (int i = 0; i < total; ++i) {
+    int pickup = rng.UniformInt(1, 4);
+    int delivery = rng.UniformInt(1, 4);
+    while (delivery == pickup) delivery = rng.UniformInt(1, 4);
+    orders.push_back(MakeOrder(i, pickup, delivery,
+                               rng.Uniform(5.0, 40.0), rng.Uniform(0, 200),
+                               rng.Uniform(400, 1200)));
+  }
+  Instance inst = MakeTestInstance(orders, 1);
+
+  // Build an existing route by repeated best insertion.
+  RoutePlanner planner(&inst);
+  const PlanAnchor anchor{0, 0.0, {}};
+  std::vector<Stop> route;
+  for (int i = 0; i < param.num_existing_orders; ++i) {
+    auto r = planner.BestInsertion(anchor, route, 0, inst.order(i));
+    if (!r.ok()) continue;  // Skip orders that cannot fit.
+    route = std::move(r).value().suffix;
+  }
+
+  const Order& new_order = inst.order(total - 1);
+  const double old_length = planner.SuffixLength(anchor, route, 0);
+  auto r = planner.BestInsertion(anchor, route, 0, new_order);
+  if (!r.ok()) return;  // Infeasibility is a legal outcome.
+  const Insertion& ins = r.value();
+
+  // Invariant 1: the returned suffix re-validates.
+  const auto recheck = planner.CheckSuffix(anchor, ins.suffix, 0);
+  ASSERT_TRUE(recheck.ok());
+  EXPECT_NEAR(recheck.value().length, ins.schedule.length, 1e-9);
+
+  // Invariant 2: exactly two stops added, pickup before delivery.
+  EXPECT_EQ(ins.suffix.size(), route.size() + 2);
+  EXPECT_LT(ins.pickup_pos, ins.delivery_pos);
+  EXPECT_EQ(ins.suffix[ins.pickup_pos].order_id, new_order.id);
+  EXPECT_EQ(ins.suffix[ins.delivery_pos].order_id, new_order.id);
+
+  // Invariant 3: with metric (Euclidean) distances a detour cannot shorten
+  // the route.
+  EXPECT_GE(ins.incremental_length, -1e-9);
+  EXPECT_NEAR(ins.incremental_length, ins.schedule.length - old_length,
+              1e-9);
+
+  // Invariant 4: schedule times are monotone along the route.
+  for (size_t s = 0; s < ins.schedule.stops.size(); ++s) {
+    const StopSchedule& st = ins.schedule.stops[s];
+    EXPECT_LE(st.arrival, st.service_start + 1e-9);
+    EXPECT_LE(st.service_start, st.departure + 1e-9);
+    if (s > 0) {
+      EXPECT_LE(ins.schedule.stops[s - 1].departure, st.arrival + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedSweep, InsertionPropertyTest,
+    ::testing::Values(SweepParam{1, 0}, SweepParam{2, 1}, SweepParam{3, 2},
+                      SweepParam{4, 3}, SweepParam{5, 4}, SweepParam{6, 5},
+                      SweepParam{7, 6}, SweepParam{8, 8}, SweepParam{9, 10},
+                      SweepParam{10, 12}, SweepParam{11, 3},
+                      SweepParam{12, 5}, SweepParam{13, 7},
+                      SweepParam{14, 9}, SweepParam{15, 11}));
+
+}  // namespace
+}  // namespace dpdp

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_baselines.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace dpdp {
+namespace {
+
+using testing::MakeOrder;
+using testing::MakeTestInstance;
+
+std::vector<Order> SmallDay() {
+  return {MakeOrder(0, 1, 2, 10.0, 10.0, 400.0),
+          MakeOrder(1, 3, 4, 20.0, 30.0, 400.0),
+          MakeOrder(2, 2, 3, 15.0, 60.0, 500.0),
+          MakeOrder(3, 1, 4, 5.0, 90.0, 600.0)};
+}
+
+TEST(Simulator, ServesAllOrdersWithBaseline) {
+  const Instance inst = MakeTestInstance(SmallDay(), /*num_vehicles=*/3);
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+  EXPECT_EQ(r.num_orders, 4);
+  EXPECT_EQ(r.num_served, 4);
+  EXPECT_EQ(r.num_unserved, 0);
+  EXPECT_TRUE(r.all_served());
+  EXPECT_GE(r.nuv, 1.0);
+  EXPECT_LE(r.nuv, 3.0);
+}
+
+TEST(Simulator, TotalCostFormula) {
+  const Instance inst = MakeTestInstance(SmallDay(), 3);
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+  EXPECT_NEAR(r.total_cost,
+              inst.vehicle_config.fixed_cost * r.nuv +
+                  inst.vehicle_config.cost_per_km * r.total_travel_length,
+              1e-9);
+  EXPECT_GT(r.total_travel_length, 0.0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const Instance inst = MakeTestInstance(SmallDay(), 3);
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult a = sim.RunEpisode(&baseline);
+  const EpisodeResult b = sim.RunEpisode(&baseline);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_DOUBLE_EQ(a.nuv, b.nuv);
+  EXPECT_DOUBLE_EQ(a.total_travel_length, b.total_travel_length);
+}
+
+TEST(Simulator, SingleOrderCostIsExact) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 400.0)}, 1);
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+  EXPECT_DOUBLE_EQ(r.nuv, 1.0);
+  EXPECT_DOUBLE_EQ(r.total_travel_length, 40.0);  // 10 + 10 + 20 back.
+  EXPECT_DOUBLE_EQ(r.total_cost, 300.0 + 2.0 * 40.0);
+}
+
+TEST(Simulator, ImpossibleOrderCountsUnserved) {
+  // Deadline earlier than any possible arrival.
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 12.0),
+                        MakeOrder(1, 1, 2, 10.0, 20.0, 400.0)},
+                       2);
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+  EXPECT_EQ(r.num_unserved, 1);
+  EXPECT_EQ(r.num_served, 1);
+  EXPECT_FALSE(r.all_served());
+}
+
+TEST(Simulator, NoInterferenceWithCommittedStop) {
+  // Order 0 sends the vehicle depot -> F1 -> F2. Order 1 (created while
+  // the vehicle drives toward F1) picks up at F3. The committed leg to F1
+  // must not change: the vehicle's final route still visits F1 first.
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 400.0),
+                        MakeOrder(1, 3, 4, 10.0, 5.0, 400.0)},
+                       1);
+  SimulatorConfig config;
+  Simulator sim(&inst, config);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+  EXPECT_EQ(r.num_served, 2);
+}
+
+TEST(Simulator, CapacityDistributionMatchesVisits) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 0.0, 400.0)}, 1);
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  (void)sim.RunEpisode(&baseline);
+  const nn::Matrix cap = sim.LastCapacityDistribution();
+  EXPECT_EQ(cap.rows(), 4);
+  EXPECT_EQ(cap.cols(), 144);
+  // Visit 1: F1 (ordinal 0) at minute 10, residual 100. Visit 2: F2
+  // (ordinal 1) at minute 20, residual 90.
+  EXPECT_DOUBLE_EQ(cap(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(cap(1, 2), 90.0);
+  EXPECT_DOUBLE_EQ(cap.SumAll(), 190.0);
+}
+
+TEST(Simulator, StScoreExposedWhenStdProvided) {
+  const Instance inst = MakeTestInstance(SmallDay(), 2);
+
+  class Recorder : public Dispatcher {
+   public:
+    const char* name() const override { return "recorder"; }
+    int ChooseVehicle(const DispatchContext& ctx) override {
+      for (const VehicleOption& opt : ctx.options) {
+        if (opt.feasible) {
+          last_st_score = opt.st_score;
+          return opt.vehicle;
+        }
+      }
+      return -1;
+    }
+    double last_st_score = -1.0;
+  };
+
+  // Without a predicted STD, scores are 0.
+  {
+    Simulator sim(&inst);
+    Recorder rec;
+    (void)sim.RunEpisode(&rec);
+    EXPECT_DOUBLE_EQ(rec.last_st_score, 0.0);
+  }
+  // With a skewed STD, scores are positive.
+  {
+    SimulatorConfig config;
+    config.predicted_std = nn::Matrix(4, 144, 0.0);
+    config.predicted_std(0, 0) = 100.0;
+    Simulator sim(&inst, config);
+    Recorder rec;
+    (void)sim.RunEpisode(&rec);
+    EXPECT_GT(rec.last_st_score, 0.0);
+  }
+}
+
+TEST(Simulator, ContextReportsFeasibilityAndInterval) {
+  const Instance inst =
+      MakeTestInstance({MakeOrder(0, 1, 2, 10.0, 125.0, 500.0)}, 2);
+
+  class Checker : public Dispatcher {
+   public:
+    const char* name() const override { return "checker"; }
+    int ChooseVehicle(const DispatchContext& ctx) override {
+      EXPECT_EQ(ctx.time_interval, 12);  // Minute 125 -> interval 12.
+      EXPECT_EQ(ctx.options.size(), 2u);
+      EXPECT_EQ(ctx.num_feasible, 2);
+      for (const VehicleOption& opt : ctx.options) {
+        EXPECT_TRUE(opt.feasible);
+        EXPECT_FALSE(opt.used);
+        EXPECT_DOUBLE_EQ(opt.current_length, 0.0);
+        EXPECT_DOUBLE_EQ(opt.new_length, 40.0);
+        EXPECT_DOUBLE_EQ(opt.incremental_length, 40.0);
+      }
+      return 0;
+    }
+  };
+  Simulator sim(&inst);
+  Checker checker;
+  (void)sim.RunEpisode(&checker);
+}
+
+TEST(Simulator, FleetResetBetweenEpisodes) {
+  const Instance inst = MakeTestInstance(SmallDay(), 3);
+  Simulator sim(&inst);
+  MaxAcceptedOrdersDispatcher baseline;
+  const EpisodeResult a = sim.RunEpisode(&baseline);
+  // Second run must not inherit used vehicles or routes.
+  const EpisodeResult b = sim.RunEpisode(&baseline);
+  EXPECT_DOUBLE_EQ(a.nuv, b.nuv);
+  EXPECT_DOUBLE_EQ(a.total_travel_length, b.total_travel_length);
+}
+
+TEST(Simulator, RecordsOrderAssignmentAndRoutes) {
+  const Instance inst = MakeTestInstance(SmallDay(), 3);
+  SimulatorConfig config;
+  config.record_plan = true;
+  Simulator sim(&inst, config);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+  ASSERT_EQ(r.order_assignment.size(), 4u);
+  ASSERT_EQ(r.routes.size(), 3u);
+  // Every served order appears exactly once as pickup and once as
+  // delivery in its assigned vehicle's route (OA consistent with RP).
+  for (int o = 0; o < r.num_orders; ++o) {
+    const int v = r.order_assignment[o];
+    ASSERT_GE(v, 0);
+    int pickups = 0;
+    int deliveries = 0;
+    for (const Stop& s : r.routes[v]) {
+      if (s.order_id != o) continue;
+      pickups += (s.type == StopType::kPickup);
+      deliveries += (s.type == StopType::kDelivery);
+    }
+    EXPECT_EQ(pickups, 1) << "order " << o;
+    EXPECT_EQ(deliveries, 1) << "order " << o;
+  }
+  // Unused vehicles have empty routes.
+  for (size_t v = 0; v < r.routes.size(); ++v) {
+    if (r.routes[v].empty()) continue;
+    bool assigned = false;
+    for (int o = 0; o < r.num_orders; ++o) {
+      assigned |= (r.order_assignment[o] == static_cast<int>(v));
+    }
+    EXPECT_TRUE(assigned);
+  }
+}
+
+TEST(Simulator, PlanNotRecordedByDefault) {
+  const Instance inst = MakeTestInstance(SmallDay(), 3);
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+  EXPECT_TRUE(r.order_assignment.empty());
+  EXPECT_TRUE(r.routes.empty());
+}
+
+// ------------------------- randomized consistency sweep -------------------
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorPropertyTest, MetricsConsistentOnRandomInstances) {
+  Rng rng(GetParam());
+  std::vector<Order> orders;
+  const int n = rng.UniformInt(3, 12);
+  for (int i = 0; i < n; ++i) {
+    int pickup = rng.UniformInt(1, 4);
+    int delivery = rng.UniformInt(1, 4);
+    while (delivery == pickup) delivery = rng.UniformInt(1, 4);
+    const double t = rng.Uniform(0.0, 600.0);
+    orders.push_back(MakeOrder(i, pickup, delivery, rng.Uniform(1.0, 50.0),
+                               t, t + rng.Uniform(60.0, 400.0)));
+  }
+  const Instance inst = MakeTestInstance(orders, rng.UniformInt(1, 4));
+  Simulator sim(&inst);
+  MinIncrementalLengthDispatcher baseline;
+  const EpisodeResult r = sim.RunEpisode(&baseline);
+
+  EXPECT_EQ(r.num_served + r.num_unserved, r.num_orders);
+  EXPECT_LE(r.nuv, inst.num_vehicles());
+  EXPECT_NEAR(r.total_cost,
+              300.0 * r.nuv + 2.0 * r.total_travel_length, 1e-9);
+  if (r.num_served > 0) {
+    EXPECT_GT(r.nuv, 0.0);
+    EXPECT_GT(r.total_travel_length, 0.0);
+  }
+  // Travel length can never be less than the incremental lengths summed
+  // (greedy insertions relocate nothing).
+  EXPECT_GE(r.total_travel_length + 1e-6, r.sum_incremental_length);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SimulatorPropertyTest,
+                         ::testing::Range<uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace dpdp

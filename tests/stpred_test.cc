@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "routing/route_planner.h"
+#include "stpred/divergence.h"
+#include "stpred/predictor.h"
+#include "stpred/st_score.h"
+#include "stpred/std_matrix.h"
+#include "tests/test_util.h"
+
+namespace dpdp {
+namespace {
+
+using testing::MakeOrder;
+using testing::MakeTestInstance;
+
+// ----------------------------------------------------------- STD matrix ---
+
+TEST(StdMatrix, AccumulatesByFactoryAndInterval) {
+  const auto net = testing::MakeLineNetwork();
+  // F1 = factory ordinal 0, F2 = ordinal 1.
+  std::vector<Order> orders{
+      MakeOrder(0, 1, 2, 5.0, 3.0, 100.0),     // F1, interval 0.
+      MakeOrder(1, 1, 3, 7.0, 8.0, 100.0),     // F1, interval 0.
+      MakeOrder(2, 2, 1, 2.0, 15.0, 100.0),    // F2, interval 1.
+      MakeOrder(3, 1, 2, 4.0, 1435.0, 2000.0)  // F1, last interval.
+  };
+  const nn::Matrix e = BuildStdMatrix(*net, orders, 144, kMinutesPerDay);
+  EXPECT_EQ(e.rows(), 4);
+  EXPECT_EQ(e.cols(), 144);
+  EXPECT_DOUBLE_EQ(e(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(e(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(e(0, 143), 4.0);
+  EXPECT_DOUBLE_EQ(e.SumAll(), 18.0);
+}
+
+TEST(StdMatrix, DepotOriginOrdersIgnored) {
+  const auto net = testing::MakeLineNetwork();
+  std::vector<Order> orders{MakeOrder(0, 0, 2, 5.0, 3.0, 100.0)};
+  const nn::Matrix e = BuildStdMatrix(*net, orders, 144, kMinutesPerDay);
+  EXPECT_DOUBLE_EQ(e.SumAll(), 0.0);
+}
+
+TEST(StdMatrix, CapacityVisitAccumulation) {
+  const auto net = testing::MakeLineNetwork();
+  nn::Matrix cap(4, 144);
+  AddCapacityVisit(*net, 1, 5.0, 80.0, 144, kMinutesPerDay, &cap);
+  AddCapacityVisit(*net, 1, 7.0, 20.0, 144, kMinutesPerDay, &cap);
+  AddCapacityVisit(*net, 0, 5.0, 50.0, 144, kMinutesPerDay, &cap);  // Depot.
+  EXPECT_DOUBLE_EQ(cap(0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(cap.SumAll(), 100.0);
+}
+
+TEST(StdMatrix, DistributionDiffIsFrobenius) {
+  nn::Matrix a(2, 2);
+  nn::Matrix b(2, 2);
+  a(0, 0) = 3.0;
+  b(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(DistributionDiff(a, b), 5.0);
+}
+
+// ------------------------------------------------------------ Predictors --
+
+TEST(Predictor, AverageOfHistory) {
+  nn::Matrix d1(2, 3, 1.0);
+  nn::Matrix d2(2, 3, 3.0);
+  const auto p = AverageStdPredictor().Predict({d1, d2});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().AllClose(nn::Matrix(2, 3, 2.0)));
+}
+
+TEST(Predictor, AverageWindowUsesRecentDaysOnly) {
+  nn::Matrix d1(1, 1, 10.0);
+  nn::Matrix d2(1, 1, 2.0);
+  nn::Matrix d3(1, 1, 4.0);
+  const auto p = AverageStdPredictor(/*window=*/2).Predict({d1, d2, d3});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value()(0, 0), 3.0);
+}
+
+TEST(Predictor, RejectsEmptyOrMismatchedHistory) {
+  EXPECT_FALSE(AverageStdPredictor().Predict({}).ok());
+  EXPECT_FALSE(
+      AverageStdPredictor().Predict({nn::Matrix(1, 2), nn::Matrix(2, 1)})
+          .ok());
+}
+
+TEST(Predictor, EwmaWeightsRecentDaysMore) {
+  nn::Matrix d1(1, 1, 0.0);
+  nn::Matrix d2(1, 1, 10.0);
+  const auto p = EwmaStdPredictor(0.5).Predict({d1, d2});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value()(0, 0), 5.0);
+  const auto p2 = EwmaStdPredictor(0.9).Predict({d1, d2});
+  EXPECT_DOUBLE_EQ(p2.value()(0, 0), 9.0);
+}
+
+TEST(Predictor, EwmaRejectsBadAlpha) {
+  EXPECT_FALSE(EwmaStdPredictor(0.0).Predict({nn::Matrix(1, 1)}).ok());
+  EXPECT_FALSE(EwmaStdPredictor(1.5).Predict({nn::Matrix(1, 1)}).ok());
+}
+
+// ------------------------------------------------------------ Divergence --
+
+TEST(Divergence, NormalizeHandlesZeroAndNegative) {
+  const std::vector<double> p = NormalizeDistribution({0.0, 0.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-9);
+  const std::vector<double> q = NormalizeDistribution({-5.0, 1.0});
+  EXPECT_LT(q[0], q[1]);
+  EXPECT_NEAR(q[0] + q[1], 1.0, 1e-12);
+}
+
+TEST(Divergence, JsZeroForIdenticalVectors) {
+  EXPECT_NEAR(JsDivergence({1, 2, 3}, {1, 2, 3}), 0.0, 1e-9);
+  // Scale invariance (both are normalized).
+  EXPECT_NEAR(JsDivergence({1, 2, 3}, {2, 4, 6}), 0.0, 1e-9);
+}
+
+TEST(Divergence, JsIsSymmetricAndBounded) {
+  const std::vector<double> a{10, 0, 0};
+  const std::vector<double> b{0, 0, 10};
+  EXPECT_NEAR(JsDivergence(a, b), JsDivergence(b, a), 1e-12);
+  EXPECT_LE(JsDivergence(a, b), std::log(2.0) + 1e-9);
+  EXPECT_GT(JsDivergence(a, b), 0.5);  // Nearly disjoint supports.
+}
+
+TEST(Divergence, SymmetricKlIsSymmetric) {
+  const std::vector<double> a{5, 3, 1};
+  const std::vector<double> b{1, 3, 5};
+  EXPECT_NEAR(SymmetricKlDivergence(a, b), SymmetricKlDivergence(b, a),
+              1e-12);
+  EXPECT_GT(SymmetricKlDivergence(a, b), 0.0);
+}
+
+TEST(Divergence, KlOfIdenticalIsZero) {
+  const std::vector<double> p = NormalizeDistribution({1, 2, 3});
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Divergence, EmptyVectorsGiveZero) {
+  EXPECT_DOUBLE_EQ(JsDivergence({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SymmetricKlDivergence({}, {}), 0.0);
+}
+
+TEST(Divergence, DispatchMatchesDirectCalls) {
+  const std::vector<double> a{3, 1};
+  const std::vector<double> b{1, 3};
+  EXPECT_DOUBLE_EQ(Divergence(DivergenceKind::kJensenShannon, a, b),
+                   JsDivergence(a, b));
+  EXPECT_DOUBLE_EQ(Divergence(DivergenceKind::kSymmetricKl, a, b),
+                   SymmetricKlDivergence(a, b));
+}
+
+// -------------------------------------------------------------- ST Score --
+
+class StScoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    inst_ = MakeTestInstance({MakeOrder(0, 1, 2, 30.0, 0.0, 500.0),
+                              MakeOrder(1, 2, 3, 20.0, 0.0, 500.0)});
+    planner_ = std::make_unique<RoutePlanner>(&inst_);
+    const PlanAnchor anchor{0, 0.0, {}};
+    suffix_ = {{1, 0, StopType::kPickup},
+               {2, 0, StopType::kDelivery},
+               {2, 1, StopType::kPickup},
+               {3, 1, StopType::kDelivery}};
+    auto r = planner_->CheckSuffix(anchor, suffix_, 0);
+    DPDP_CHECK(r.ok());
+    schedule_ = std::move(r).value();
+  }
+
+  Instance inst_;
+  std::unique_ptr<RoutePlanner> planner_;
+  std::vector<Stop> suffix_;
+  SuffixSchedule schedule_;
+};
+
+TEST_F(StScoreTest, VectorsFollowRouteVisits) {
+  nn::Matrix demand(4, 144, 1.0);
+  demand(0, 1) = 9.0;  // F1 in interval 1 (arrival at minute 10).
+  std::vector<double> capacity;
+  std::vector<double> dem;
+  BuildStVectors(*inst_.network, suffix_, schedule_, demand, 144,
+                 kMinutesPerDay, &capacity, &dem);
+  ASSERT_EQ(capacity.size(), 4u);
+  ASSERT_EQ(dem.size(), 4u);
+  EXPECT_DOUBLE_EQ(capacity[0], 100.0);
+  EXPECT_DOUBLE_EQ(capacity[1], 70.0);
+  EXPECT_DOUBLE_EQ(dem[0], 9.0);
+  EXPECT_DOUBLE_EQ(dem[1], 1.0);
+}
+
+TEST_F(StScoreTest, ScoreZeroWhenCapacityTracksDemand) {
+  // Use a route visiting four *distinct* factories so each visit maps to
+  // its own STD cell, then make demand proportional to the capacity
+  // profile -> JS divergence ~ 0.
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 2, 30.0, 0.0, 500.0),
+                                    MakeOrder(1, 3, 4, 20.0, 0.0, 500.0)});
+  RoutePlanner planner(&inst);
+  const std::vector<Stop> suffix{{1, 0, StopType::kPickup},
+                                 {2, 0, StopType::kDelivery},
+                                 {3, 1, StopType::kPickup},
+                                 {4, 1, StopType::kDelivery}};
+  const auto sched = planner.CheckSuffix(PlanAnchor{0, 0.0, {}}, suffix, 0);
+  ASSERT_TRUE(sched.ok());
+  nn::Matrix demand(4, 144, 0.0);
+  for (size_t s = 0; s < suffix.size(); ++s) {
+    const int ordinal = inst.network->FactoryOrdinal(suffix[s].node);
+    const int interval = TimeIntervalIndex(sched.value().stops[s].arrival,
+                                           144, kMinutesPerDay);
+    demand(ordinal, interval) = sched.value().residual_capacity[s];
+  }
+  EXPECT_NEAR(ComputeStScore(*inst.network, suffix, sched.value(), demand,
+                             144, kMinutesPerDay),
+              0.0, 1e-6);
+}
+
+TEST_F(StScoreTest, MismatchedDemandScoresHigher) {
+  nn::Matrix aligned(4, 144, 1.0);
+  nn::Matrix skewed(4, 144, 0.0);
+  // All predicted demand bunched at the last stop where the vehicle has
+  // the least spare story -> larger divergence than uniform demand.
+  const int ordinal = inst_.network->FactoryOrdinal(suffix_[1].node);
+  const int interval =
+      TimeIntervalIndex(schedule_.stops[1].arrival, 144, kMinutesPerDay);
+  skewed(ordinal, interval) = 100.0;
+  const double s_uniform = ComputeStScore(
+      *inst_.network, suffix_, schedule_, aligned, 144, kMinutesPerDay);
+  const double s_skewed = ComputeStScore(
+      *inst_.network, suffix_, schedule_, skewed, 144, kMinutesPerDay);
+  EXPECT_GT(s_skewed, s_uniform);
+}
+
+TEST_F(StScoreTest, EmptyRouteScoresZero) {
+  nn::Matrix demand(4, 144, 1.0);
+  EXPECT_DOUBLE_EQ(ComputeStScore(*inst_.network, {}, SuffixSchedule{},
+                                  demand, 144, kMinutesPerDay),
+                   0.0);
+}
+
+TEST_F(StScoreTest, KlVariantDiffersFromJs) {
+  nn::Matrix demand(4, 144, 0.0);
+  demand(0, 1) = 50.0;
+  demand(1, 2) = 1.0;
+  const double js =
+      ComputeStScore(*inst_.network, suffix_, schedule_, demand, 144,
+                     kMinutesPerDay, DivergenceKind::kJensenShannon);
+  const double kl =
+      ComputeStScore(*inst_.network, suffix_, schedule_, demand, 144,
+                     kMinutesPerDay, DivergenceKind::kSymmetricKl);
+  EXPECT_GT(js, 0.0);
+  EXPECT_GT(kl, js);  // Symmetric KL upper-bounds JS.
+}
+
+}  // namespace
+}  // namespace dpdp

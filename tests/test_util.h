@@ -1,0 +1,72 @@
+#ifndef DPDP_TESTS_TEST_UTIL_H_
+#define DPDP_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/order.h"
+#include "net/road_network.h"
+
+namespace dpdp::testing {
+
+/// A tiny hand-checkable world: one depot at the origin and four factories
+/// on a 10 km line / square, Euclidean distances (road factor 1.0).
+///
+///   depot(0) at (0, 0)
+///   F1(1) at (10, 0), F2(2) at (20, 0), F3(3) at (10, 10), F4(4) at (0, 10)
+inline std::shared_ptr<const RoadNetwork> MakeLineNetwork() {
+  std::vector<NodeInfo> nodes(5);
+  nodes[0] = {0, NodeKind::kDepot, 0.0, 0.0, "depot"};
+  nodes[1] = {1, NodeKind::kFactory, 10.0, 0.0, "F1"};
+  nodes[2] = {2, NodeKind::kFactory, 20.0, 0.0, "F2"};
+  nodes[3] = {3, NodeKind::kFactory, 10.0, 10.0, "F3"};
+  nodes[4] = {4, NodeKind::kFactory, 0.0, 10.0, "F4"};
+  return std::make_shared<RoadNetwork>(
+      RoadNetwork::FromCoordinates(std::move(nodes), /*road_factor=*/1.0));
+}
+
+/// Vehicle config with round numbers: capacity 100, mu 300, delta 2,
+/// 60 km/h (1 km/min), 0 service time — schedules are then trivially
+/// arithmetic in tests.
+inline VehicleConfig MakeTestVehicleConfig() {
+  VehicleConfig cfg;
+  cfg.capacity = 100.0;
+  cfg.fixed_cost = 300.0;
+  cfg.cost_per_km = 2.0;
+  cfg.speed_kmph = 60.0;
+  cfg.service_time_min = 0.0;
+  return cfg;
+}
+
+inline Order MakeOrder(int id, int pickup, int delivery, double qty,
+                       double t_create, double t_latest) {
+  Order o;
+  o.id = id;
+  o.pickup_node = pickup;
+  o.delivery_node = delivery;
+  o.quantity = qty;
+  o.create_time_min = t_create;
+  o.latest_time_min = t_latest;
+  return o;
+}
+
+/// An instance on the line network with the given orders and `num_vehicles`
+/// vehicles at the depot.
+inline Instance MakeTestInstance(std::vector<Order> orders,
+                                 int num_vehicles = 2) {
+  Instance inst;
+  inst.name = "test";
+  inst.network = MakeLineNetwork();
+  inst.vehicle_config = MakeTestVehicleConfig();
+  inst.orders = std::move(orders);
+  CanonicalizeOrders(&inst.orders);
+  inst.vehicle_depots.assign(num_vehicles, 0);
+  inst.num_time_intervals = 144;
+  inst.horizon_minutes = kMinutesPerDay;
+  return inst;
+}
+
+}  // namespace dpdp::testing
+
+#endif  // DPDP_TESTS_TEST_UTIL_H_
