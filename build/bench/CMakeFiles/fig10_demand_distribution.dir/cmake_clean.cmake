@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_demand_distribution.dir/fig10_demand_distribution.cc.o"
+  "CMakeFiles/fig10_demand_distribution.dir/fig10_demand_distribution.cc.o.d"
+  "fig10_demand_distribution"
+  "fig10_demand_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_demand_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_std_demand.dir/fig2_std_demand.cc.o"
+  "CMakeFiles/fig2_std_demand.dir/fig2_std_demand.cc.o.d"
+  "fig2_std_demand"
+  "fig2_std_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_std_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

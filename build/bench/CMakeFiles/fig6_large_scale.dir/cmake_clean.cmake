@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_large_scale.dir/fig6_large_scale.cc.o"
+  "CMakeFiles/fig6_large_scale.dir/fig6_large_scale.cc.o.d"
+  "fig6_large_scale"
+  "fig6_large_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_large_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_industry_scale.dir/fig7_industry_scale.cc.o"
+  "CMakeFiles/fig7_industry_scale.dir/fig7_industry_scale.cc.o.d"
+  "fig7_industry_scale"
+  "fig7_industry_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_industry_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ablation_convergence.dir/fig8_ablation_convergence.cc.o"
+  "CMakeFiles/fig8_ablation_convergence.dir/fig8_ablation_convergence.cc.o.d"
+  "fig8_ablation_convergence"
+  "fig8_ablation_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ablation_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

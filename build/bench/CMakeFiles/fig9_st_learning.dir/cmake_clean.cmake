@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_st_learning.dir/fig9_st_learning.cc.o"
+  "CMakeFiles/fig9_st_learning.dir/fig9_st_learning.cc.o.d"
+  "fig9_st_learning"
+  "fig9_st_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_st_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

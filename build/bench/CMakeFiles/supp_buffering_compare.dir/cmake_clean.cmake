@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_buffering_compare.dir/supp_buffering_compare.cc.o"
+  "CMakeFiles/supp_buffering_compare.dir/supp_buffering_compare.cc.o.d"
+  "supp_buffering_compare"
+  "supp_buffering_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_buffering_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

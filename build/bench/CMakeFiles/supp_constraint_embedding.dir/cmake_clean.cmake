@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_constraint_embedding.dir/supp_constraint_embedding.cc.o"
+  "CMakeFiles/supp_constraint_embedding.dir/supp_constraint_embedding.cc.o.d"
+  "supp_constraint_embedding"
+  "supp_constraint_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_constraint_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

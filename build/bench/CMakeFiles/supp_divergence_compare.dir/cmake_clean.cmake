@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_divergence_compare.dir/supp_divergence_compare.cc.o"
+  "CMakeFiles/supp_divergence_compare.dir/supp_divergence_compare.cc.o.d"
+  "supp_divergence_compare"
+  "supp_divergence_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_divergence_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

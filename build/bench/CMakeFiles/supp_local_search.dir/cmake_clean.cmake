@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_local_search.dir/supp_local_search.cc.o"
+  "CMakeFiles/supp_local_search.dir/supp_local_search.cc.o.d"
+  "supp_local_search"
+  "supp_local_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_local_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_predictor_compare.dir/supp_predictor_compare.cc.o"
+  "CMakeFiles/supp_predictor_compare.dir/supp_predictor_compare.cc.o.d"
+  "supp_predictor_compare"
+  "supp_predictor_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_predictor_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for supp_predictor_compare.
+# This may be replaced when dependencies are built.

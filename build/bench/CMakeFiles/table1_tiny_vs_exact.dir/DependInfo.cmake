@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_tiny_vs_exact.cc" "bench/CMakeFiles/table1_tiny_vs_exact.dir/table1_tiny_vs_exact.cc.o" "gcc" "bench/CMakeFiles/table1_tiny_vs_exact.dir/table1_tiny_vs_exact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exact/CMakeFiles/dpdp_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/dpdp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dpdp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dpdp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/dpdp_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stpred/CMakeFiles/dpdp_stpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dpdp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dpdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpdp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

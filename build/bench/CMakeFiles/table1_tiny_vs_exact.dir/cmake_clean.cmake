@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tiny_vs_exact.dir/table1_tiny_vs_exact.cc.o"
+  "CMakeFiles/table1_tiny_vs_exact.dir/table1_tiny_vs_exact.cc.o.d"
+  "table1_tiny_vs_exact"
+  "table1_tiny_vs_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tiny_vs_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

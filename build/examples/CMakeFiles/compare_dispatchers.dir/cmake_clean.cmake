@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_dispatchers.dir/compare_dispatchers.cc.o"
+  "CMakeFiles/compare_dispatchers.dir/compare_dispatchers.cc.o.d"
+  "compare_dispatchers"
+  "compare_dispatchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_dispatchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

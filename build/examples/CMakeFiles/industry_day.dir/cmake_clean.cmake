@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industry_day.dir/industry_day.cc.o"
+  "CMakeFiles/industry_day.dir/industry_day.cc.o.d"
+  "industry_day"
+  "industry_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industry_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

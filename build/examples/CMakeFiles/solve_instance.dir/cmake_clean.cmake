@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_instance.dir/solve_instance.cc.o"
+  "CMakeFiles/solve_instance.dir/solve_instance.cc.o.d"
+  "solve_instance"
+  "solve_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

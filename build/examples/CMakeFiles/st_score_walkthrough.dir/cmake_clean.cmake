@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_score_walkthrough.dir/st_score_walkthrough.cc.o"
+  "CMakeFiles/st_score_walkthrough.dir/st_score_walkthrough.cc.o.d"
+  "st_score_walkthrough"
+  "st_score_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_score_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

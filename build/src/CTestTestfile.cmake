@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("nn")
+subdirs("net")
+subdirs("model")
+subdirs("routing")
+subdirs("stpred")
+subdirs("datagen")
+subdirs("sim")
+subdirs("baselines")
+subdirs("rl")
+subdirs("exact")
+subdirs("exp")
+subdirs("core")

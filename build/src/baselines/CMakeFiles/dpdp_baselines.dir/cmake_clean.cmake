@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_baselines.dir/greedy_baselines.cc.o"
+  "CMakeFiles/dpdp_baselines.dir/greedy_baselines.cc.o.d"
+  "libdpdp_baselines.a"
+  "libdpdp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/campus.cc" "src/datagen/CMakeFiles/dpdp_datagen.dir/campus.cc.o" "gcc" "src/datagen/CMakeFiles/dpdp_datagen.dir/campus.cc.o.d"
+  "/root/repo/src/datagen/dataset.cc" "src/datagen/CMakeFiles/dpdp_datagen.dir/dataset.cc.o" "gcc" "src/datagen/CMakeFiles/dpdp_datagen.dir/dataset.cc.o.d"
+  "/root/repo/src/datagen/demand_model.cc" "src/datagen/CMakeFiles/dpdp_datagen.dir/demand_model.cc.o" "gcc" "src/datagen/CMakeFiles/dpdp_datagen.dir/demand_model.cc.o.d"
+  "/root/repo/src/datagen/order_gen.cc" "src/datagen/CMakeFiles/dpdp_datagen.dir/order_gen.cc.o" "gcc" "src/datagen/CMakeFiles/dpdp_datagen.dir/order_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dpdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stpred/CMakeFiles/dpdp_stpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dpdp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpdp_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

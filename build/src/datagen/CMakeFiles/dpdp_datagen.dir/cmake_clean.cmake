@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_datagen.dir/campus.cc.o"
+  "CMakeFiles/dpdp_datagen.dir/campus.cc.o.d"
+  "CMakeFiles/dpdp_datagen.dir/dataset.cc.o"
+  "CMakeFiles/dpdp_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/dpdp_datagen.dir/demand_model.cc.o"
+  "CMakeFiles/dpdp_datagen.dir/demand_model.cc.o.d"
+  "CMakeFiles/dpdp_datagen.dir/order_gen.cc.o"
+  "CMakeFiles/dpdp_datagen.dir/order_gen.cc.o.d"
+  "libdpdp_datagen.a"
+  "libdpdp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

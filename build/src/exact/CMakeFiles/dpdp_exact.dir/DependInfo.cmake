@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/bnb_solver.cc" "src/exact/CMakeFiles/dpdp_exact.dir/bnb_solver.cc.o" "gcc" "src/exact/CMakeFiles/dpdp_exact.dir/bnb_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dpdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpdp_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

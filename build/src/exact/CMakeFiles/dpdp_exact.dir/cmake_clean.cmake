@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_exact.dir/bnb_solver.cc.o"
+  "CMakeFiles/dpdp_exact.dir/bnb_solver.cc.o.d"
+  "libdpdp_exact.a"
+  "libdpdp_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_exp.dir/harness.cc.o"
+  "CMakeFiles/dpdp_exp.dir/harness.cc.o.d"
+  "CMakeFiles/dpdp_exp.dir/heatmap.cc.o"
+  "CMakeFiles/dpdp_exp.dir/heatmap.cc.o.d"
+  "libdpdp_exp.a"
+  "libdpdp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/instance.cc" "src/model/CMakeFiles/dpdp_model.dir/instance.cc.o" "gcc" "src/model/CMakeFiles/dpdp_model.dir/instance.cc.o.d"
+  "/root/repo/src/model/instance_io.cc" "src/model/CMakeFiles/dpdp_model.dir/instance_io.cc.o" "gcc" "src/model/CMakeFiles/dpdp_model.dir/instance_io.cc.o.d"
+  "/root/repo/src/model/order.cc" "src/model/CMakeFiles/dpdp_model.dir/order.cc.o" "gcc" "src/model/CMakeFiles/dpdp_model.dir/order.cc.o.d"
+  "/root/repo/src/model/vehicle.cc" "src/model/CMakeFiles/dpdp_model.dir/vehicle.cc.o" "gcc" "src/model/CMakeFiles/dpdp_model.dir/vehicle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dpdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpdp_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_model.dir/instance.cc.o"
+  "CMakeFiles/dpdp_model.dir/instance.cc.o.d"
+  "CMakeFiles/dpdp_model.dir/instance_io.cc.o"
+  "CMakeFiles/dpdp_model.dir/instance_io.cc.o.d"
+  "CMakeFiles/dpdp_model.dir/order.cc.o"
+  "CMakeFiles/dpdp_model.dir/order.cc.o.d"
+  "CMakeFiles/dpdp_model.dir/vehicle.cc.o"
+  "CMakeFiles/dpdp_model.dir/vehicle.cc.o.d"
+  "libdpdp_model.a"
+  "libdpdp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpdp_model.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_net.dir/road_network.cc.o"
+  "CMakeFiles/dpdp_net.dir/road_network.cc.o.d"
+  "libdpdp_net.a"
+  "libdpdp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_nn.dir/attention.cc.o"
+  "CMakeFiles/dpdp_nn.dir/attention.cc.o.d"
+  "CMakeFiles/dpdp_nn.dir/layers.cc.o"
+  "CMakeFiles/dpdp_nn.dir/layers.cc.o.d"
+  "CMakeFiles/dpdp_nn.dir/loss.cc.o"
+  "CMakeFiles/dpdp_nn.dir/loss.cc.o.d"
+  "CMakeFiles/dpdp_nn.dir/matrix.cc.o"
+  "CMakeFiles/dpdp_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/dpdp_nn.dir/optimizer.cc.o"
+  "CMakeFiles/dpdp_nn.dir/optimizer.cc.o.d"
+  "libdpdp_nn.a"
+  "libdpdp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

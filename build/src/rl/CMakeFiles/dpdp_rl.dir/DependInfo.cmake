@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/actor_critic.cc" "src/rl/CMakeFiles/dpdp_rl.dir/actor_critic.cc.o" "gcc" "src/rl/CMakeFiles/dpdp_rl.dir/actor_critic.cc.o.d"
+  "/root/repo/src/rl/config.cc" "src/rl/CMakeFiles/dpdp_rl.dir/config.cc.o" "gcc" "src/rl/CMakeFiles/dpdp_rl.dir/config.cc.o.d"
+  "/root/repo/src/rl/dqn_agent.cc" "src/rl/CMakeFiles/dpdp_rl.dir/dqn_agent.cc.o" "gcc" "src/rl/CMakeFiles/dpdp_rl.dir/dqn_agent.cc.o.d"
+  "/root/repo/src/rl/q_network.cc" "src/rl/CMakeFiles/dpdp_rl.dir/q_network.cc.o" "gcc" "src/rl/CMakeFiles/dpdp_rl.dir/q_network.cc.o.d"
+  "/root/repo/src/rl/replay.cc" "src/rl/CMakeFiles/dpdp_rl.dir/replay.cc.o" "gcc" "src/rl/CMakeFiles/dpdp_rl.dir/replay.cc.o.d"
+  "/root/repo/src/rl/state.cc" "src/rl/CMakeFiles/dpdp_rl.dir/state.cc.o" "gcc" "src/rl/CMakeFiles/dpdp_rl.dir/state.cc.o.d"
+  "/root/repo/src/rl/trainer.cc" "src/rl/CMakeFiles/dpdp_rl.dir/trainer.cc.o" "gcc" "src/rl/CMakeFiles/dpdp_rl.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dpdp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stpred/CMakeFiles/dpdp_stpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dpdp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dpdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpdp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_rl.dir/actor_critic.cc.o"
+  "CMakeFiles/dpdp_rl.dir/actor_critic.cc.o.d"
+  "CMakeFiles/dpdp_rl.dir/config.cc.o"
+  "CMakeFiles/dpdp_rl.dir/config.cc.o.d"
+  "CMakeFiles/dpdp_rl.dir/dqn_agent.cc.o"
+  "CMakeFiles/dpdp_rl.dir/dqn_agent.cc.o.d"
+  "CMakeFiles/dpdp_rl.dir/q_network.cc.o"
+  "CMakeFiles/dpdp_rl.dir/q_network.cc.o.d"
+  "CMakeFiles/dpdp_rl.dir/replay.cc.o"
+  "CMakeFiles/dpdp_rl.dir/replay.cc.o.d"
+  "CMakeFiles/dpdp_rl.dir/state.cc.o"
+  "CMakeFiles/dpdp_rl.dir/state.cc.o.d"
+  "CMakeFiles/dpdp_rl.dir/trainer.cc.o"
+  "CMakeFiles/dpdp_rl.dir/trainer.cc.o.d"
+  "libdpdp_rl.a"
+  "libdpdp_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

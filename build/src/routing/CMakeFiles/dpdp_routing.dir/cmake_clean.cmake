@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_routing.dir/local_search.cc.o"
+  "CMakeFiles/dpdp_routing.dir/local_search.cc.o.d"
+  "CMakeFiles/dpdp_routing.dir/route_planner.cc.o"
+  "CMakeFiles/dpdp_routing.dir/route_planner.cc.o.d"
+  "libdpdp_routing.a"
+  "libdpdp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/dpdp_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/dpdp_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/vehicle_state.cc" "src/sim/CMakeFiles/dpdp_sim.dir/vehicle_state.cc.o" "gcc" "src/sim/CMakeFiles/dpdp_sim.dir/vehicle_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dpdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dpdp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stpred/CMakeFiles/dpdp_stpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpdp_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

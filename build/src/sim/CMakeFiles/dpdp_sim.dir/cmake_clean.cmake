@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_sim.dir/simulator.cc.o"
+  "CMakeFiles/dpdp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dpdp_sim.dir/vehicle_state.cc.o"
+  "CMakeFiles/dpdp_sim.dir/vehicle_state.cc.o.d"
+  "libdpdp_sim.a"
+  "libdpdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stpred/divergence.cc" "src/stpred/CMakeFiles/dpdp_stpred.dir/divergence.cc.o" "gcc" "src/stpred/CMakeFiles/dpdp_stpred.dir/divergence.cc.o.d"
+  "/root/repo/src/stpred/predictor.cc" "src/stpred/CMakeFiles/dpdp_stpred.dir/predictor.cc.o" "gcc" "src/stpred/CMakeFiles/dpdp_stpred.dir/predictor.cc.o.d"
+  "/root/repo/src/stpred/st_score.cc" "src/stpred/CMakeFiles/dpdp_stpred.dir/st_score.cc.o" "gcc" "src/stpred/CMakeFiles/dpdp_stpred.dir/st_score.cc.o.d"
+  "/root/repo/src/stpred/std_matrix.cc" "src/stpred/CMakeFiles/dpdp_stpred.dir/std_matrix.cc.o" "gcc" "src/stpred/CMakeFiles/dpdp_stpred.dir/std_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dpdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dpdp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dpdp_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dpdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

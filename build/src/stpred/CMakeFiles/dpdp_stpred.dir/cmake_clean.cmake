@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_stpred.dir/divergence.cc.o"
+  "CMakeFiles/dpdp_stpred.dir/divergence.cc.o.d"
+  "CMakeFiles/dpdp_stpred.dir/predictor.cc.o"
+  "CMakeFiles/dpdp_stpred.dir/predictor.cc.o.d"
+  "CMakeFiles/dpdp_stpred.dir/st_score.cc.o"
+  "CMakeFiles/dpdp_stpred.dir/st_score.cc.o.d"
+  "CMakeFiles/dpdp_stpred.dir/std_matrix.cc.o"
+  "CMakeFiles/dpdp_stpred.dir/std_matrix.cc.o.d"
+  "libdpdp_stpred.a"
+  "libdpdp_stpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_stpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpdp_util.dir/rng.cc.o"
+  "CMakeFiles/dpdp_util.dir/rng.cc.o.d"
+  "CMakeFiles/dpdp_util.dir/stats.cc.o"
+  "CMakeFiles/dpdp_util.dir/stats.cc.o.d"
+  "CMakeFiles/dpdp_util.dir/status.cc.o"
+  "CMakeFiles/dpdp_util.dir/status.cc.o.d"
+  "CMakeFiles/dpdp_util.dir/table.cc.o"
+  "CMakeFiles/dpdp_util.dir/table.cc.o.d"
+  "libdpdp_util.a"
+  "libdpdp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpdp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffering_test.dir/buffering_test.cc.o"
+  "CMakeFiles/buffering_test.dir/buffering_test.cc.o.d"
+  "buffering_test"
+  "buffering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

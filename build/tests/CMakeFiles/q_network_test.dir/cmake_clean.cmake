@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q_network_test.dir/q_network_test.cc.o"
+  "CMakeFiles/q_network_test.dir/q_network_test.cc.o.d"
+  "q_network_test"
+  "q_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stpred_test.dir/stpred_test.cc.o"
+  "CMakeFiles/stpred_test.dir/stpred_test.cc.o.d"
+  "stpred_test"
+  "stpred_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stpred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

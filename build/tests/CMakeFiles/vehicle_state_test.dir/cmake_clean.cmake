@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_state_test.dir/vehicle_state_test.cc.o"
+  "CMakeFiles/vehicle_state_test.dir/vehicle_state_test.cc.o.d"
+  "vehicle_state_test"
+  "vehicle_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
