@@ -58,10 +58,17 @@ int main() {
     record(dpdp::RunBaseline(inst, &b1));
     record(dpdp::RunBaseline(inst, &b2));
     record(dpdp::RunBaseline(inst, &b3));
-    for (const std::string& method : dpdp::ComparisonDrlMethods()) {
-      record(dpdp::RunDrlMethod(inst, predicted, method, episodes, seeds,
-                                /*seed_base=*/17 + i));
-    }
+    // The DRL methods are independent sweeps: run them concurrently and
+    // record the summaries in method order so output stays deterministic.
+    const std::vector<std::string> methods = dpdp::ComparisonDrlMethods();
+    std::vector<dpdp::MethodSummary> summaries(methods.size());
+    dpdp::GlobalThreadPool()->ParallelFor(
+        static_cast<int>(methods.size()), [&](int m) {
+          summaries[m] = dpdp::RunDrlMethod(inst, predicted, methods[m],
+                                            episodes, seeds,
+                                            /*seed_base=*/17 + i);
+        });
+    for (const dpdp::MethodSummary& s : summaries) record(s);
     std::printf("instance %d done\n", i);
   }
 

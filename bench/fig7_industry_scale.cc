@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/dpdp.h"
 
@@ -42,21 +44,31 @@ int main() {
   const dpdp::nn::Matrix train_std =
       predictor.Predict(dataset.History(20, 4)).value();
 
+  // Each method trains on its own agent + simulator (the instance and STD
+  // prediction are shared read-only), so the four trainings run in
+  // parallel on the process-wide pool.
+  const std::vector<std::string> methods = dpdp::ComparisonDrlMethods();
+  std::vector<std::unique_ptr<dpdp::LearningDispatcher>> trained(
+      methods.size());
+  dpdp::GlobalThreadPool()->ParallelFor(
+      static_cast<int>(methods.size()), [&](int m) {
+        auto agent = dpdp::MakeAgentByName(methods[m], /*seed=*/23);
+        dpdp::SimulatorConfig sim_config;
+        sim_config.predicted_std = train_std;
+        sim_config.record_visits = false;
+        dpdp::Simulator simulator(&train_day, sim_config);
+        agent->set_training(true);
+        dpdp::TrainOptions options;
+        options.episodes = episodes;
+        dpdp::RunEpisodes(&simulator, agent.get(), options);
+        agent->set_training(false);
+        agent->FinalizeTraining();
+        trained[m] = std::move(agent);
+      });
   std::map<std::string, std::unique_ptr<dpdp::LearningDispatcher>> agents;
-  for (const std::string& method : dpdp::ComparisonDrlMethods()) {
-    auto agent = dpdp::MakeAgentByName(method, /*seed=*/23);
-    dpdp::SimulatorConfig sim_config;
-    sim_config.predicted_std = train_std;
-    sim_config.record_visits = false;
-    dpdp::Simulator simulator(&train_day, sim_config);
-    agent->set_training(true);
-    dpdp::TrainOptions options;
-    options.episodes = episodes;
-    dpdp::RunEpisodes(&simulator, agent.get(), options);
-    agent->set_training(false);
-    agent->FinalizeTraining();
-    agents[method] = std::move(agent);
-    std::printf("trained %s (%d episodes)\n", method.c_str(), episodes);
+  for (size_t m = 0; m < methods.size(); ++m) {
+    agents[methods[m]] = std::move(trained[m]);
+    std::printf("trained %s (%d episodes)\n", methods[m].c_str(), episodes);
   }
 
   // --- Evaluate everything day by day ------------------------------------
@@ -77,23 +89,33 @@ int main() {
 
     std::vector<std::string> nuv_row{"Day " + std::to_string(d + 1)};
     std::vector<std::string> tc_row{"Day " + std::to_string(d + 1)};
-    auto eval = [&](const char* label, dpdp::Dispatcher* dispatcher) {
-      dpdp::Simulator simulator(&inst, sim_config);
-      const dpdp::EpisodeResult r = simulator.RunEpisode(dispatcher);
-      nuv_row.push_back(dpdp::TextTable::Num(r.nuv, 0));
-      tc_row.push_back(dpdp::TextTable::Num(r.total_cost, 0));
-      all_nuv[label].push_back(r.nuv);
-      all_tc[label].push_back(r.total_cost);
-    };
 
     dpdp::MinIncrementalLengthDispatcher b1;
     dpdp::MinTotalLengthDispatcher b2;
     dpdp::MaxAcceptedOrdersDispatcher b3;
-    eval("b1", &b1);
-    eval("b2", &b2);
-    eval("b3", &b3);
-    for (const std::string& method : dpdp::ComparisonDrlMethods()) {
-      eval(method.c_str(), agents[method].get());
+    // One evaluation job per dispatcher; every job gets a private Simulator
+    // and a private result slot, and the dispatchers are all distinct
+    // objects (agents carry activation caches, so they must not be shared
+    // across concurrent jobs). Rows are assembled in job order afterwards.
+    struct EvalJob {
+      std::string label;
+      dpdp::Dispatcher* dispatcher;
+    };
+    std::vector<EvalJob> jobs = {{"b1", &b1}, {"b2", &b2}, {"b3", &b3}};
+    for (const std::string& method : methods) {
+      jobs.push_back({method, agents[method].get()});
+    }
+    std::vector<dpdp::EpisodeResult> results(jobs.size());
+    dpdp::GlobalThreadPool()->ParallelFor(
+        static_cast<int>(jobs.size()), [&](int j) {
+          dpdp::Simulator simulator(&inst, sim_config);
+          results[j] = simulator.RunEpisode(jobs[j].dispatcher);
+        });
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      nuv_row.push_back(dpdp::TextTable::Num(results[j].nuv, 0));
+      tc_row.push_back(dpdp::TextTable::Num(results[j].total_cost, 0));
+      all_nuv[jobs[j].label].push_back(results[j].nuv);
+      all_tc[jobs[j].label].push_back(results[j].total_cost);
     }
     nuv_row.push_back(std::to_string(inst.num_orders()));
     nuv_table.AddRow(nuv_row);

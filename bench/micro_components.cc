@@ -154,6 +154,62 @@ void BM_SimulatorEpisodeBaseline1(benchmark::State& state) {
 BENCHMARK(BM_SimulatorEpisodeBaseline1)->Arg(30)->Arg(150)->Arg(600)
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------- parallel harness ----
+
+// The tentpole speedup claim: RunDrlMethod's independent seed runs scale
+// with the worker count while producing bit-identical summaries. Compare
+// the Arg(1) row (serial pool) against Arg(4): on a 4+ core machine the
+// 4-thread row should be >= 2.5x faster.
+void BM_RunDrlMethodSeeds(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const dpdp::Instance inst = MakeBenchInstance(12, 5);
+  const dpdp::nn::Matrix predicted(inst.network->num_factories(),
+                                   inst.num_time_intervals, 1.0);
+  dpdp::ThreadPool pool(threads);
+  const int seeds = 4;
+  const int episodes = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dpdp::RunDrlMethod(inst, predicted, "DQN",
+                                                episodes, seeds,
+                                                /*seed_base=*/5, &pool));
+  }
+  state.SetLabel(std::to_string(threads) + " threads, " +
+                 std::to_string(seeds) + " seeds");
+  state.SetItemsProcessed(state.iterations() * seeds);
+}
+BENCHMARK(BM_RunDrlMethodSeeds)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Parallel minibatch gradient accumulation (DPDP_PARALLEL_BATCH): batch
+// updates on worker-local network clones, reduced in transition order.
+void BM_ParallelBatchUpdate(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const dpdp::Instance inst = MakeBenchInstance(30, 12);
+  dpdp::ThreadPool pool(threads);
+  dpdp::AgentConfig config = dpdp::MakeStDdgnConfig(11);
+  config.parallel_batch = threads > 0;
+  config.batch_pool = &pool;
+  dpdp::DqnFleetAgent agent(config, "bench");
+  dpdp::SimulatorConfig sim_config;
+  sim_config.record_visits = false;
+  dpdp::Simulator sim(&inst, sim_config);
+  agent.set_training(true);
+  // Fill the replay buffer; OnEpisodeEnd also runs the first updates.
+  dpdp::TrainOptions options;
+  options.episodes = 2;
+  dpdp::RunEpisodes(&sim, &agent, options);
+  for (auto _ : state) {
+    const dpdp::EpisodeResult r = sim.RunEpisode(&agent);
+    agent.OnEpisodeEnd(r);
+  }
+  state.SetLabel(threads > 0
+                     ? std::to_string(threads) + " threads"
+                     : "legacy serial path");
+  benchmark::DoNotOptimize(agent.last_loss());
+}
+BENCHMARK(BM_ParallelBatchUpdate)->Arg(0)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

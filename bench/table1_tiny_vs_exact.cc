@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/dpdp.h"
 
@@ -47,10 +48,18 @@ int main() {
     const dpdp::nn::Matrix predicted =
         predictor.Predict(dataset.History(4, 4)).value();
 
-    for (const std::string& method : dpdp::ComparisonDrlMethods()) {
-      const dpdp::DrlOutcome out = dpdp::TrainEvalOnInstance(
-          inst, predicted, method, /*seed=*/11, episodes);
-      table.AddRow({std::to_string(n), method,
+    // Each DRL method trains its own agent on its own simulator, so the
+    // four sweeps run concurrently; rows are added in method order.
+    const std::vector<std::string> methods = dpdp::ComparisonDrlMethods();
+    std::vector<dpdp::DrlOutcome> outcomes(methods.size());
+    dpdp::GlobalThreadPool()->ParallelFor(
+        static_cast<int>(methods.size()), [&](int m) {
+          outcomes[m] = dpdp::TrainEvalOnInstance(inst, predicted, methods[m],
+                                                  /*seed=*/11, episodes);
+        });
+    for (size_t m = 0; m < methods.size(); ++m) {
+      const dpdp::DrlOutcome& out = outcomes[m];
+      table.AddRow({std::to_string(n), methods[m],
                     dpdp::TextTable::Num(out.eval.nuv, 0),
                     dpdp::TextTable::Num(out.eval.total_cost),
                     dpdp::TextTable::Num(out.eval_decision_seconds, 3),

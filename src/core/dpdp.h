@@ -16,7 +16,7 @@
 ///       dpdp::TrainEvalOnInstance(inst, std_pred, "ST-DDGN", 1, 80);
 ///
 /// Layering (each header is independently includable):
-///   util/    Status / Result, RNG, stats, tables
+///   util/    Status / Result, RNG, stats, tables, thread pool
 ///   nn/      matrices, layers, attention, optimizers
 ///   net/     the campus road network
 ///   model/   orders, vehicles, instances
@@ -54,11 +54,13 @@
 #include "stpred/predictor.h"
 #include "stpred/st_score.h"
 #include "stpred/std_matrix.h"
+#include "util/env.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 #endif  // DPDP_CORE_DPDP_H_

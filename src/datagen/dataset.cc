@@ -18,6 +18,7 @@ DpdpDataset::DpdpDataset(Config config) : config_(std::move(config)) {
 
 const std::vector<Order>& DpdpDataset::Day(int d) {
   DPDP_CHECK(d >= 0 && d < config_.num_days);
+  std::lock_guard<std::mutex> lock(days_mu_);
   if (!day_ready_[d]) {
     days_[d] = GenerateDayOrders(*network_, *demand_, config_.orders, d,
                                  config_.num_intervals, config_.horizon_min,

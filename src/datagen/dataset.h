@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,12 @@ namespace dpdp {
 /// orders of July-October 2019, ~80k orders): a campus network, a demand
 /// model and a configurable number of generated days. Days are produced
 /// lazily and cached; everything is a pure function of the seeds.
+///
+/// Thread safety: the lazy day cache is mutex-protected, so Day(),
+/// StdMatrixOfDay(), History() and the instance builders may be called
+/// concurrently (e.g. from ThreadPool tasks in the bench sweeps). Day
+/// content is a pure function of (config seed, day), so the cache fills
+/// with identical bits regardless of which thread generates a day first.
 class DpdpDataset {
  public:
   struct Config {
@@ -37,7 +44,9 @@ class DpdpDataset {
   const DemandModel& demand_model() const { return *demand_; }
   int num_days() const { return config_.num_days; }
 
-  /// Orders of day d (canonicalized), generated on first access.
+  /// Orders of day d (canonicalized), generated on first access. The
+  /// returned reference stays valid for the dataset's lifetime (the
+  /// per-day slots are allocated up front and filled in place).
   const std::vector<Order>& Day(int d);
 
   /// STD matrix of day d (Definition 1).
@@ -65,6 +74,7 @@ class DpdpDataset {
   Config config_;
   std::shared_ptr<const RoadNetwork> network_;
   std::unique_ptr<DemandModel> demand_;
+  std::mutex days_mu_;  ///< Guards day_ready_ and the filling of days_.
   std::vector<bool> day_ready_;
   std::vector<std::vector<Order>> days_;
 };

@@ -1,28 +1,14 @@
 #include "exp/harness.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "rl/actor_critic.h"
 #include "rl/config.h"
 #include "rl/dqn_agent.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace dpdp {
-
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atoi(v);
-}
-
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::atof(v);
-}
-
-bool FastMode() { return EnvInt("DPDP_FAST", 0) != 0; }
 
 DpdpDataset::Config StandardDatasetConfig(uint64_t seed,
                                           double mean_orders_per_day,
@@ -168,17 +154,25 @@ MethodSummary RunBaseline(const Instance& instance, Dispatcher* baseline,
 MethodSummary RunDrlMethod(const Instance& instance,
                            const nn::Matrix& predicted_std,
                            const std::string& method, int episodes,
-                           int num_seeds, uint64_t seed_base) {
+                           int num_seeds, uint64_t seed_base,
+                           ThreadPool* pool) {
   MethodSummary summary;
   summary.method = method;
-  for (int s = 0; s < num_seeds; ++s) {
-    const DrlOutcome outcome = TrainEvalOnInstance(
-        instance, predicted_std, method,
-        seed_base + 1000003ULL * static_cast<uint64_t>(s), episodes);
-    summary.nuv.push_back(outcome.eval.nuv);
-    summary.tc.push_back(outcome.eval.total_cost);
-    summary.wall.push_back(outcome.eval_decision_seconds);
-  }
+  // Slots are pre-sized and each task writes only its own index, so the
+  // aggregation is race-free and the vectors come out in seed order no
+  // matter how the tasks are scheduled.
+  summary.nuv.resize(num_seeds);
+  summary.tc.resize(num_seeds);
+  summary.wall.resize(num_seeds);
+  if (pool == nullptr) pool = GlobalThreadPool();
+  pool->ParallelFor(num_seeds, [&](int s) {
+    const DrlOutcome outcome =
+        TrainEvalOnInstance(instance, predicted_std, method,
+                            Rng::DeriveSeed(seed_base, s), episodes);
+    summary.nuv[s] = outcome.eval.nuv;
+    summary.tc[s] = outcome.eval.total_cost;
+    summary.wall[s] = outcome.eval_decision_seconds;
+  });
   return summary;
 }
 

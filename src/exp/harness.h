@@ -11,18 +11,11 @@
 #include "rl/learning.h"
 #include "rl/trainer.h"
 #include "sim/simulator.h"
+#include "util/env.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dpdp {
-
-/// Reads an integer / double from the environment (bench binaries honour
-/// DPDP_EPISODES, DPDP_SEEDS, DPDP_FAST, ... so runtimes can be scaled).
-int EnvInt(const char* name, int fallback);
-double EnvDouble(const char* name, double fallback);
-
-/// True when DPDP_FAST is set to a non-zero value: bench binaries shrink
-/// training budgets for smoke runs.
-bool FastMode();
 
 /// The standard experiment "world": the paper's campus (27 factories),
 /// vehicle economics, and the synthetic order pool. `mean_orders_per_day`
@@ -87,11 +80,18 @@ Instance SampleInstanceInWindow(DpdpDataset* dataset,
 MethodSummary RunBaseline(const Instance& instance, Dispatcher* baseline,
                           const nn::Matrix& predicted_std = nn::Matrix());
 
-/// Trains + evaluates a DRL method across `seeds` independent runs.
+/// Trains + evaluates a DRL method across `num_seeds` independent runs.
+/// Run s uses seed Rng::DeriveSeed(seed_base, s), so every run has its
+/// own named RNG sub-stream. The runs execute in parallel on `pool`
+/// (the process-wide DPDP_THREADS-sized pool when null); because each
+/// run is self-contained (own Simulator, own agent, read-only instance
+/// and predicted STD) the nuv/tc results are bit-identical for every
+/// worker count — only the wall-time column varies.
 MethodSummary RunDrlMethod(const Instance& instance,
                            const nn::Matrix& predicted_std,
                            const std::string& method, int episodes,
-                           int num_seeds, uint64_t seed_base);
+                           int num_seeds, uint64_t seed_base,
+                           ThreadPool* pool = nullptr);
 
 }  // namespace dpdp
 

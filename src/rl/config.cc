@@ -1,9 +1,20 @@
 #include "rl/config.h"
 
+#include "util/env.h"
+
 namespace dpdp {
+namespace {
+
+AgentConfig MakeBaseConfig() {
+  AgentConfig c;
+  c.parallel_batch = EnvInt("DPDP_PARALLEL_BATCH", 0) != 0;
+  return c;
+}
+
+}  // namespace
 
 AgentConfig MakeDqnConfig(uint64_t seed) {
-  AgentConfig c;
+  AgentConfig c = MakeBaseConfig();
   c.use_graph = false;
   c.use_st_score = false;
   c.double_dqn = false;
@@ -12,7 +23,7 @@ AgentConfig MakeDqnConfig(uint64_t seed) {
 }
 
 AgentConfig MakeDdqnConfig(uint64_t seed) {
-  AgentConfig c;
+  AgentConfig c = MakeBaseConfig();
   c.use_graph = false;
   c.use_st_score = false;
   c.double_dqn = true;
@@ -21,7 +32,7 @@ AgentConfig MakeDdqnConfig(uint64_t seed) {
 }
 
 AgentConfig MakeStDdqnConfig(uint64_t seed) {
-  AgentConfig c;
+  AgentConfig c = MakeBaseConfig();
   c.use_graph = false;
   c.use_st_score = true;
   c.double_dqn = true;
@@ -30,7 +41,7 @@ AgentConfig MakeStDdqnConfig(uint64_t seed) {
 }
 
 AgentConfig MakeDgnConfig(uint64_t seed) {
-  AgentConfig c;
+  AgentConfig c = MakeBaseConfig();
   c.use_graph = true;
   c.use_st_score = false;
   c.double_dqn = false;
@@ -39,7 +50,7 @@ AgentConfig MakeDgnConfig(uint64_t seed) {
 }
 
 AgentConfig MakeDdgnConfig(uint64_t seed) {
-  AgentConfig c;
+  AgentConfig c = MakeBaseConfig();
   c.use_graph = true;
   c.use_st_score = false;
   c.double_dqn = true;
@@ -48,7 +59,7 @@ AgentConfig MakeDdgnConfig(uint64_t seed) {
 }
 
 AgentConfig MakeStDdgnConfig(uint64_t seed) {
-  AgentConfig c;
+  AgentConfig c = MakeBaseConfig();
   c.use_graph = true;
   c.use_st_score = true;
   c.double_dqn = true;

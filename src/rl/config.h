@@ -7,6 +7,8 @@
 
 namespace dpdp {
 
+class ThreadPool;
+
 /// Hyperparameters shared by the DRL dispatchers. Defaults follow the
 /// paper's recommended settings scaled to this repo's from-scratch NN
 /// substrate (small hidden sizes keep CPU training fast at fleet scale).
@@ -73,6 +75,20 @@ struct AgentConfig {
   /// Episodes only count as snapshot candidates once epsilon has decayed
   /// to at most this value (otherwise the episode result is mostly noise).
   double best_weights_max_epsilon = 0.25;
+
+  // --- Parallelism ---------------------------------------------------------
+  /// Parallel minibatch gradient accumulation: each sampled transition's
+  /// forward/backward pass runs on a worker-local clone of the online /
+  /// target networks and the per-transition gradients are reduced into
+  /// the optimizer in transition order. The fixed reduction order makes
+  /// the update bit-identical for every worker count (the clone path
+  /// rounds differently from the legacy in-place accumulation, so
+  /// flag-on and flag-off runs may differ in the last ulp — each is
+  /// individually deterministic). The Make*Config constructors
+  /// initialize this from the DPDP_PARALLEL_BATCH environment variable.
+  bool parallel_batch = false;
+  /// Pool used by parallel_batch; not owned. Null = process-wide pool.
+  ThreadPool* batch_pool = nullptr;
 
   DivergenceKind divergence = DivergenceKind::kJensenShannon;
   uint64_t seed = 17;

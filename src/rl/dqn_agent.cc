@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "nn/loss.h"
+#include "util/thread_pool.h"
 
 namespace dpdp {
+
+/// Worker-local clones for the parallel minibatch path. `synced_generation`
+/// tracks the last batch whose master weights were copied in, so a clone
+/// re-used within one batch skips the redundant sync.
+struct DqnFleetAgent::WorkerNets {
+  std::unique_ptr<FleetQNetwork> online;
+  std::unique_ptr<FleetQNetwork> target;
+  uint64_t synced_generation = 0;
+};
+
+DqnFleetAgent::~DqnFleetAgent() = default;
 
 DqnFleetAgent::DqnFleetAgent(const AgentConfig& config, std::string name)
     : config_(config),
@@ -49,7 +62,7 @@ std::vector<int> DqnFleetAgent::InferenceIndices(
 
 std::vector<double> DqnFleetAgent::SubFleetQ(const FleetState& state,
                                              FleetQNetwork* net,
-                                             const std::vector<int>& idx) {
+                                             const std::vector<int>& idx) const {
   const SubFleetInputs in = BuildSubFleetInputs(
       state, idx, config_.use_graph, config_.num_neighbors);
   return net->Forward(in.features, in.adjacency);
@@ -153,63 +166,150 @@ void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
   }
 }
 
-void DqnFleetAgent::TrainBatch() {
-  const std::vector<const Transition*> batch =
-      replay_.Sample(config_.batch_size, &rng_);
-  double loss_sum = 0.0;
-  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+double DqnFleetAgent::TdTarget(const Transition& t, FleetQNetwork* online_net,
+                               FleetQNetwork* target_net) const {
+  double y = t.reward;
+  if (t.terminal || t.next_state.empty()) return y;
+  const FleetState next = t.next_state.ToFleetState();
+  if (next.NumFeasible() == 0) return y;
 
-  for (const Transition* t : batch) {
-    // --- TD target -------------------------------------------------------
-    double y = t->reward;
-    if (!t->terminal && !t->next_state.empty()) {
-      const FleetState next = t->next_state.ToFleetState();
-      if (next.NumFeasible() > 0) {
-        const std::vector<int> next_idx = InferenceIndices(next);
-        auto feasible_max = [&](const std::vector<double>& q) {
-          int best = -1;
-          double best_q = -std::numeric_limits<double>::infinity();
-          for (size_t i = 0; i < next_idx.size(); ++i) {
-            if (!next.feasible[next_idx[i]]) continue;
-            if (q[i] > best_q) {
-              best_q = q[i];
-              best = static_cast<int>(i);
-            }
-          }
-          return best;
-        };
-        double next_value = 0.0;
-        if (config_.double_dqn) {
-          // Double DQN: argmax from the online net, value from the target.
-          const std::vector<double> qo =
-              SubFleetQ(next, online_.get(), next_idx);
-          const int best = feasible_max(qo);
-          const std::vector<double> qt =
-              SubFleetQ(next, target_.get(), next_idx);
-          next_value = qt[best];
-        } else {
-          const std::vector<double> qt =
-              SubFleetQ(next, target_.get(), next_idx);
-          next_value = qt[feasible_max(qt)];
-        }
-        y += config_.gamma * next_value;
+  const std::vector<int> next_idx = InferenceIndices(next);
+  auto feasible_max = [&](const std::vector<double>& q) {
+    int best = -1;
+    double best_q = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < next_idx.size(); ++i) {
+      if (!next.feasible[next_idx[i]]) continue;
+      if (q[i] > best_q) {
+        best_q = q[i];
+        best = static_cast<int>(i);
       }
     }
+    return best;
+  };
+  double next_value = 0.0;
+  if (config_.double_dqn) {
+    // Double DQN: argmax from the online net, value from the target.
+    const std::vector<double> qo = SubFleetQ(next, online_net, next_idx);
+    const int best = feasible_max(qo);
+    const std::vector<double> qt = SubFleetQ(next, target_net, next_idx);
+    next_value = qt[best];
+  } else {
+    const std::vector<double> qt = SubFleetQ(next, target_net, next_idx);
+    next_value = qt[feasible_max(qt)];
+  }
+  return y + config_.gamma * next_value;
+}
 
-    // --- Prediction + gradient -------------------------------------------
-    const FleetState state = t->state.ToFleetState();
-    const std::vector<int> idx = InferenceIndices(state);
-    const auto it = std::find(idx.begin(), idx.end(), t->action);
-    DPDP_CHECK(it != idx.end());
-    const int sub_action = static_cast<int>(it - idx.begin());
+double DqnFleetAgent::AccumulateTransitionGradient(const Transition& t,
+                                                   FleetQNetwork* online_net,
+                                                   FleetQNetwork* target_net,
+                                                   double inv_batch) const {
+  const double y = TdTarget(t, online_net, target_net);
 
-    const std::vector<double> q = SubFleetQ(state, online_.get(), idx);
-    loss_sum += nn::HuberLoss(q[sub_action], y);
-    std::vector<double> dq(q.size(), 0.0);
-    dq[sub_action] = nn::HuberLossGrad(q[sub_action], y) * inv_batch;
-    online_->Backward(dq);
+  const FleetState state = t.state.ToFleetState();
+  const std::vector<int> idx = InferenceIndices(state);
+  const auto it = std::find(idx.begin(), idx.end(), t.action);
+  DPDP_CHECK(it != idx.end());
+  const int sub_action = static_cast<int>(it - idx.begin());
+
+  const std::vector<double> q = SubFleetQ(state, online_net, idx);
+  std::vector<double> dq(q.size(), 0.0);
+  dq[sub_action] = nn::HuberLossGrad(q[sub_action], y) * inv_batch;
+  online_net->Backward(dq);
+  return nn::HuberLoss(q[sub_action], y);
+}
+
+void DqnFleetAgent::TrainBatch() {
+  // The sample always comes from the agent's own rng_, so the replay draw
+  // sequence is identical whether the update itself runs serially or in
+  // parallel.
+  const std::vector<const Transition*> batch =
+      replay_.Sample(config_.batch_size, &rng_);
+  if (config_.parallel_batch) {
+    TrainBatchParallel(batch);
+    return;
   }
 
+  double loss_sum = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+  for (const Transition* t : batch) {
+    loss_sum +=
+        AccumulateTransitionGradient(*t, online_.get(), target_.get(),
+                                     inv_batch);
+  }
+  optimizer_->Step();
+  last_loss_ = loss_sum * inv_batch;
+}
+
+std::unique_ptr<DqnFleetAgent::WorkerNets> DqnFleetAgent::AcquireWorkerNets() {
+  std::unique_ptr<WorkerNets> nets;
+  {
+    std::lock_guard<std::mutex> lock(worker_nets_mu_);
+    if (!worker_nets_cache_.empty()) {
+      nets = std::move(worker_nets_cache_.back());
+      worker_nets_cache_.pop_back();
+    }
+  }
+  if (nets == nullptr) {
+    nets = std::make_unique<WorkerNets>();
+    // The init values are irrelevant -- the sync below overwrites them --
+    // so a throwaway rng keeps clone creation independent of rng_ state.
+    Rng scratch(config_.seed);
+    nets->online = MakeQNetwork(config_, &scratch);
+    nets->target = MakeQNetwork(config_, &scratch);
+  }
+  if (nets->synced_generation != batch_generation_) {
+    // Masters are read-only while a batch's ParallelFor is in flight (all
+    // gradients go to the clones), so concurrent syncs are safe.
+    nn::CopyParameters(online_->Params(), nets->online->Params());
+    nn::CopyParameters(target_->Params(), nets->target->Params());
+    for (nn::Parameter* p : nets->online->Params()) p->ZeroGrad();
+    nets->synced_generation = batch_generation_;
+  }
+  return nets;
+}
+
+void DqnFleetAgent::ReleaseWorkerNets(std::unique_ptr<WorkerNets> nets) {
+  std::lock_guard<std::mutex> lock(worker_nets_mu_);
+  worker_nets_cache_.push_back(std::move(nets));
+}
+
+void DqnFleetAgent::TrainBatchParallel(
+    const std::vector<const Transition*>& batch) {
+  ++batch_generation_;  // Invalidates every cached clone's weight sync.
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+
+  // Phase 1: per-transition forward/backward on worker-local clones. Task i
+  // writes only results[i], so no locking is needed on the result slots.
+  struct PerTransition {
+    double loss = 0.0;
+    std::vector<nn::Matrix> grads;
+  };
+  std::vector<PerTransition> results(batch.size());
+  ThreadPool* pool =
+      config_.batch_pool != nullptr ? config_.batch_pool : GlobalThreadPool();
+  pool->ParallelFor(static_cast<int>(batch.size()), [&](int i) {
+    std::unique_ptr<WorkerNets> nets = AcquireWorkerNets();
+    results[i].loss = AccumulateTransitionGradient(
+        *batch[i], nets->online.get(), nets->target.get(), inv_batch);
+    for (nn::Parameter* p : nets->online->Params()) {
+      results[i].grads.push_back(p->grad);
+      p->ZeroGrad();
+    }
+    ReleaseWorkerNets(std::move(nets));
+  });
+
+  // Phase 2: reduce in transition order -- the fixed order makes the summed
+  // gradient (and thus the whole run) bit-identical for any worker count.
+  const std::vector<nn::Parameter*> master = online_->Params();
+  double loss_sum = 0.0;
+  for (PerTransition& r : results) {
+    loss_sum += r.loss;
+    DPDP_CHECK(r.grads.size() == master.size());
+    for (size_t j = 0; j < master.size(); ++j) {
+      master[j]->grad.AddInPlace(r.grads[j]);
+    }
+  }
   optimizer_->Step();
   last_loss_ = loss_sum * inv_batch;
 }

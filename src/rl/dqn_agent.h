@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@ namespace dpdp {
 class DqnFleetAgent : public LearningDispatcher {
  public:
   DqnFleetAgent(const AgentConfig& config, std::string name);
+  ~DqnFleetAgent() override;
 
   const char* name() const override { return name_.c_str(); }
   int ChooseVehicle(const DispatchContext& context) override;
@@ -65,15 +67,38 @@ class DqnFleetAgent : public LearningDispatcher {
     bool terminal;
   };
 
+  /// Worker-local online/target network clones used by the parallel
+  /// minibatch path (config.parallel_batch): each worker gets private
+  /// activation caches and gradient buffers while sharing the master
+  /// parameter values via an explicit per-batch sync.
+  struct WorkerNets;
+
   double InstantReward(const DispatchContext& context, int chosen) const;
   /// Vehicle rows the network scores: the feasible sub-fleet under
   /// constraint embedding, the whole fleet otherwise.
   std::vector<int> InferenceIndices(const FleetState& state) const;
   /// Forward pass over the feasible sub-fleet; returns (sub-q-values,
-  /// feasible index list).
+  /// feasible index list). Mutates only `net` (activation caches), so
+  /// distinct nets may run concurrently.
   std::vector<double> SubFleetQ(const FleetState& state, FleetQNetwork* net,
-                                const std::vector<int>& idx);
+                                const std::vector<int>& idx) const;
+  /// The (double-)DQN target y for one transition, computed on the given
+  /// online/target networks.
+  double TdTarget(const Transition& t, FleetQNetwork* online_net,
+                  FleetQNetwork* target_net) const;
+  /// Runs forward + backward for one transition on `online_net`
+  /// (accumulating the dq * inv_batch gradient into its parameters) and
+  /// returns the Huber loss of the TD error.
+  double AccumulateTransitionGradient(const Transition& t,
+                                      FleetQNetwork* online_net,
+                                      FleetQNetwork* target_net,
+                                      double inv_batch) const;
   void TrainBatch();
+  void TrainBatchParallel(const std::vector<const Transition*>& batch);
+  /// Checks a WorkerNets out of the cache (creating/syncing on demand)
+  /// and back in. Thread-safe.
+  std::unique_ptr<WorkerNets> AcquireWorkerNets();
+  void ReleaseWorkerNets(std::unique_ptr<WorkerNets> nets);
 
   AgentConfig config_;
   std::string name_;
@@ -91,6 +116,11 @@ class DqnFleetAgent : public LearningDispatcher {
   std::vector<EpisodeStep> episode_;
   double best_episode_cost_ = 0.0;
   std::vector<nn::Matrix> best_weights_;  ///< Empty until first snapshot.
+
+  // Parallel-batch worker state (used only when config_.parallel_batch).
+  std::mutex worker_nets_mu_;
+  std::vector<std::unique_ptr<WorkerNets>> worker_nets_cache_;
+  uint64_t batch_generation_ = 0;  ///< Bumped per batch to trigger syncs.
 };
 
 }  // namespace dpdp

@@ -1,0 +1,21 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace dpdp {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+bool FastMode() { return EnvInt("DPDP_FAST", 0) != 0; }
+
+}  // namespace dpdp

@@ -1,0 +1,18 @@
+#ifndef DPDP_UTIL_ENV_H_
+#define DPDP_UTIL_ENV_H_
+
+namespace dpdp {
+
+/// Reads an integer / double from the environment (bench binaries honour
+/// DPDP_EPISODES, DPDP_SEEDS, DPDP_FAST, ... so runtimes can be scaled;
+/// the runtime itself honours DPDP_THREADS and DPDP_PARALLEL_BATCH).
+int EnvInt(const char* name, int fallback);
+double EnvDouble(const char* name, double fallback);
+
+/// True when DPDP_FAST is set to a non-zero value: bench binaries shrink
+/// training budgets for smoke runs.
+bool FastMode();
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_ENV_H_

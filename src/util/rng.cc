@@ -19,9 +19,18 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::DeriveSeed(uint64_t base_seed, uint64_t task_id) {
+  // Two splitmix64 steps over a task-id-offset state: the first decorrelates
+  // nearby task ids, the second decorrelates nearby base seeds. The +1
+  // keeps task 0 from collapsing onto the base stream.
+  uint64_t x = base_seed ^ (0xd1b54a32d192ed03ULL * (task_id + 1));
+  (void)SplitMix64(&x);
+  return SplitMix64(&x);
 }
 
 uint64_t Rng::NextU64() {

@@ -58,10 +58,31 @@ class Rng {
     }
   }
 
-  /// Derives an independent child RNG (for per-component streams).
+  /// Derives an independent child RNG (for per-component streams). The
+  /// child seed is drawn from *this*, so the result depends on how many
+  /// values were consumed before the call.
   Rng Fork();
 
+  /// Named sub-stream derivation for parallel tasks: returns the RNG of
+  /// sub-stream `task_id`, a pure function of (construction seed,
+  /// task_id). Unlike Fork(), it does not consume from or depend on this
+  /// RNG's draw state, so Fork(i) yields the same stream no matter when
+  /// it is called or on which thread — the foundation of the "parallel
+  /// results are bit-identical to serial" contract of the experiment
+  /// harness.
+  Rng Fork(uint64_t task_id) const { return Rng(DeriveSeed(seed_, task_id)); }
+
+  /// The SplitMix64-style (base_seed, task_index) -> sub-stream-seed map
+  /// behind Fork(task_id), usable where only raw seeds circulate.
+  /// Distinct task ids give statistically independent streams; equal
+  /// inputs give equal seeds.
+  static uint64_t DeriveSeed(uint64_t base_seed, uint64_t task_id);
+
+  /// The seed this RNG was constructed with (sub-stream derivation key).
+  uint64_t seed() const { return seed_; }
+
  private:
+  uint64_t seed_;
   uint64_t s_[4];
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/dpdp.h"
+#include "tests/test_util.h"
 
 namespace dpdp {
 namespace {
@@ -26,6 +27,7 @@ class IntegrationTest : public ::testing::Test {
 TEST_F(IntegrationTest, AllDispatchersServeTheDay) {
   SimulatorConfig config;
   config.predicted_std = predicted_;
+  config.record_plan = true;  // Feed every route to the feasibility oracle.
   MinIncrementalLengthDispatcher b1;
   MinTotalLengthDispatcher b2;
   MaxAcceptedOrdersDispatcher b3;
@@ -34,12 +36,15 @@ TEST_F(IntegrationTest, AllDispatchersServeTheDay) {
     const EpisodeResult r = sim.RunEpisode(d);
     EXPECT_TRUE(r.all_served()) << d->name();
     EXPECT_LE(r.nuv, instance_.num_vehicles());
+    EXPECT_TRUE(dpdp::testing::CheckEpisodeFeasible(instance_, r))
+        << d->name();
   }
   for (const std::string& m : ComparisonDrlMethods()) {
     auto agent = MakeAgentByName(m, 3);
     Simulator sim(&instance_, config);
     const EpisodeResult r = sim.RunEpisode(agent.get());
     EXPECT_TRUE(r.all_served()) << m;
+    EXPECT_TRUE(dpdp::testing::CheckEpisodeFeasible(instance_, r)) << m;
   }
 }
 

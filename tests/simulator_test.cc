@@ -217,6 +217,9 @@ TEST(Simulator, RecordsOrderAssignmentAndRoutes) {
     }
     EXPECT_TRUE(assigned);
   }
+  // The independent brute-force oracle agrees that every executed route
+  // satisfies LIFO, capacity and time-window constraints.
+  EXPECT_TRUE(dpdp::testing::CheckEpisodeFeasible(inst, r));
 }
 
 TEST(Simulator, PlanNotRecordedByDefault) {
