@@ -1,6 +1,7 @@
 #include "exp/harness.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "rl/actor_critic.h"
 #include "rl/config.h"
@@ -79,8 +80,10 @@ const std::vector<std::string>& AblationModels() {
 DrlOutcome TrainEvalOnInstance(const Instance& instance,
                                const nn::Matrix& predicted_std,
                                const std::string& method, uint64_t seed,
-                               int episodes) {
-  SimulatorConfig sim_config;
+                               int episodes,
+                               const SimulatorConfig* base_sim_config) {
+  SimulatorConfig sim_config =
+      base_sim_config != nullptr ? *base_sim_config : SimulatorConfig{};
   sim_config.predicted_std = predicted_std;
   Simulator simulator(&instance, sim_config);
 
@@ -155,24 +158,51 @@ MethodSummary RunDrlMethod(const Instance& instance,
                            const nn::Matrix& predicted_std,
                            const std::string& method, int episodes,
                            int num_seeds, uint64_t seed_base,
-                           ThreadPool* pool) {
+                           ThreadPool* pool,
+                           const SimulatorConfig* base_sim_config,
+                           const RetryPolicy& retry_policy) {
   MethodSummary summary;
   summary.method = method;
   // Slots are pre-sized and each task writes only its own index, so the
-  // aggregation is race-free and the vectors come out in seed order no
-  // matter how the tasks are scheduled.
-  summary.nuv.resize(num_seeds);
-  summary.tc.resize(num_seeds);
-  summary.wall.resize(num_seeds);
+  // aggregation is race-free and the results come out in seed order no
+  // matter how the tasks are scheduled. Failed seeds are compacted out
+  // afterwards, preserving that order.
+  std::vector<double> nuv(num_seeds);
+  std::vector<double> tc(num_seeds);
+  std::vector<double> wall(num_seeds);
+  std::vector<uint8_t> ok(num_seeds, 0);
+  std::vector<std::string> errors(num_seeds);
   if (pool == nullptr) pool = GlobalThreadPool();
   pool->ParallelFor(num_seeds, [&](int s) {
-    const DrlOutcome outcome =
-        TrainEvalOnInstance(instance, predicted_std, method,
-                            Rng::DeriveSeed(seed_base, s), episodes);
-    summary.nuv[s] = outcome.eval.nuv;
-    summary.tc[s] = outcome.eval.total_cost;
-    summary.wall[s] = outcome.eval_decision_seconds;
+    // The retry wrapper absorbs exceptions (so one bad seed cannot abort
+    // the whole sweep via ParallelFor's rethrow) and backs off between
+    // transient failures.
+    const Status status = RunWithRetry(
+        [&]() -> Status {
+          const DrlOutcome outcome = TrainEvalOnInstance(
+              instance, predicted_std, method, Rng::DeriveSeed(seed_base, s),
+              episodes, base_sim_config);
+          nuv[s] = outcome.eval.nuv;
+          tc[s] = outcome.eval.total_cost;
+          wall[s] = outcome.eval_decision_seconds;
+          return Status::OK();
+        },
+        retry_policy);
+    if (status.ok()) {
+      ok[s] = 1;
+    } else {
+      errors[s] = status.ToString();
+    }
   });
+  for (int s = 0; s < num_seeds; ++s) {
+    if (ok[s] != 0) {
+      summary.nuv.push_back(nuv[s]);
+      summary.tc.push_back(tc[s]);
+      summary.wall.push_back(wall[s]);
+    } else {
+      summary.seed_errors.push_back({s, errors[s]});
+    }
+  }
   return summary;
 }
 

@@ -12,6 +12,7 @@
 #include "rl/trainer.h"
 #include "sim/simulator.h"
 #include "util/env.h"
+#include "util/retry.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -47,18 +48,32 @@ struct DrlOutcome {
 
 /// Trains `method` for `episodes` on `instance` (ST Score computed from
 /// `predicted_std` when non-empty) and evaluates the greedy policy once.
+/// `base_sim_config`, when non-null, seeds the simulator configuration
+/// (fault injection, buffering, ...); its predicted_std is overwritten by
+/// the `predicted_std` argument.
 DrlOutcome TrainEvalOnInstance(const Instance& instance,
                                const nn::Matrix& predicted_std,
                                const std::string& method, uint64_t seed,
-                               int episodes);
+                               int episodes,
+                               const SimulatorConfig* base_sim_config =
+                                   nullptr);
 
 /// Aggregate of repeated runs (the paper repeats DRL training five times
 /// per instance to smooth seed variance).
 struct MethodSummary {
+  /// A seed run that failed permanently (after retries) and was skipped.
+  struct SeedError {
+    int seed_index = -1;
+    std::string message;
+  };
+
   std::string method;
   std::vector<double> nuv;
   std::vector<double> tc;
   std::vector<double> wall;  ///< Decision/inference seconds per run.
+  /// Seeds excluded from the statistics (RunDrlMethod retry gave up);
+  /// empty on a fully healthy sweep.
+  std::vector<SeedError> seed_errors;
 
   double nuv_mean() const { return Mean(nuv); }
   double nuv_std() const { return Stddev(nuv); }
@@ -87,11 +102,19 @@ MethodSummary RunBaseline(const Instance& instance, Dispatcher* baseline,
 /// run is self-contained (own Simulator, own agent, read-only instance
 /// and predicted STD) the nuv/tc results are bit-identical for every
 /// worker count — only the wall-time column varies.
+///
+/// Fault tolerance: each seed task runs under capped exponential backoff
+/// (util/retry.h). Transient failures (uncaught exceptions, resource
+/// exhaustion) are retried; a seed that fails permanently is recorded in
+/// MethodSummary::seed_errors and skipped instead of sinking the sweep.
+/// `base_sim_config` is forwarded to TrainEvalOnInstance.
 MethodSummary RunDrlMethod(const Instance& instance,
                            const nn::Matrix& predicted_std,
                            const std::string& method, int episodes,
                            int num_seeds, uint64_t seed_base,
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           const SimulatorConfig* base_sim_config = nullptr,
+                           const RetryPolicy& retry_policy = RetryPolicy());
 
 }  // namespace dpdp
 

@@ -1,13 +1,43 @@
 #include "model/instance_io.h"
 
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 namespace dpdp {
 namespace {
+
+/// Strict integer parse: the whole field must be consumed (std::stoi would
+/// happily read "12x" as 12, letting a corrupted file load "successfully").
+bool ParseIntField(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDoubleField(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
 
 std::vector<std::string> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
@@ -112,6 +142,7 @@ Result<Instance> LoadInstanceCsv(std::istream* is) {
   std::vector<NodeInfo> nodes;
   std::vector<std::tuple<int, int, double>> distances;
   Section section = Section::kNone;
+  bool meta_seen = false;
   bool header_consumed = false;
   std::string line;
   int line_no = 0;
@@ -145,89 +176,129 @@ Result<Instance> LoadInstanceCsv(std::istream* is) {
     }
 
     const std::vector<std::string> f = SplitCsvLine(line);
-    try {
-      switch (section) {
-        case Section::kNone:
-          return ParseError(line_no, "data before any section");
-        case Section::kMeta: {
-          if (f.size() != 3) return ParseError(line_no, "meta needs 3 fields");
-          inst.name = f[0];
-          inst.num_time_intervals = std::stoi(f[1]);
-          inst.horizon_minutes = std::stod(f[2]);
-          break;
-        }
-        case Section::kNodes: {
-          if (f.size() != 5) return ParseError(line_no, "node needs 5 fields");
-          NodeInfo n;
-          n.id = std::stoi(f[0]);
-          if (f[1] == "depot") {
-            n.kind = NodeKind::kDepot;
-          } else if (f[1] == "factory") {
-            n.kind = NodeKind::kFactory;
-          } else {
-            return ParseError(line_no, "bad node kind " + f[1]);
-          }
-          n.x = std::stod(f[2]);
-          n.y = std::stod(f[3]);
-          n.name = f[4];
-          if (n.id != static_cast<int>(nodes.size())) {
-            return ParseError(line_no, "node ids must be dense in order");
-          }
-          nodes.push_back(n);
-          break;
-        }
-        case Section::kDistances: {
-          if (f.size() != 3) {
-            return ParseError(line_no, "distance needs 3 fields");
-          }
-          distances.emplace_back(std::stoi(f[0]), std::stoi(f[1]),
-                                 std::stod(f[2]));
-          break;
-        }
-        case Section::kVehicleConfig: {
-          if (f.size() != 5) {
-            return ParseError(line_no, "vehicle config needs 5 fields");
-          }
-          inst.vehicle_config.capacity = std::stod(f[0]);
-          inst.vehicle_config.fixed_cost = std::stod(f[1]);
-          inst.vehicle_config.cost_per_km = std::stod(f[2]);
-          inst.vehicle_config.speed_kmph = std::stod(f[3]);
-          inst.vehicle_config.service_time_min = std::stod(f[4]);
-          break;
-        }
-        case Section::kVehicleDepots: {
-          if (f.size() != 1) return ParseError(line_no, "depot needs 1 field");
-          inst.vehicle_depots.push_back(std::stoi(f[0]));
-          break;
-        }
-        case Section::kOrders: {
-          if (f.size() != 6) return ParseError(line_no, "order needs 6 fields");
-          Order o;
-          o.id = std::stoi(f[0]);
-          o.pickup_node = std::stoi(f[1]);
-          o.delivery_node = std::stoi(f[2]);
-          o.quantity = std::stod(f[3]);
-          o.create_time_min = std::stod(f[4]);
-          o.latest_time_min = std::stod(f[5]);
-          inst.orders.push_back(o);
-          break;
-        }
-      }
-    } catch (const std::exception&) {
+    // Every numeric field goes through the strict parsers so a corrupted
+    // or truncated file fails loudly instead of loading garbage.
+    const auto malformed = [&]() {
       return ParseError(line_no, "malformed number in: " + line);
+    };
+    switch (section) {
+      case Section::kNone:
+        return ParseError(line_no, "data before any section");
+      case Section::kMeta: {
+        if (f.size() != 3) return ParseError(line_no, "meta needs 3 fields");
+        inst.name = f[0];
+        if (!ParseIntField(f[1], &inst.num_time_intervals) ||
+            !ParseDoubleField(f[2], &inst.horizon_minutes)) {
+          return malformed();
+        }
+        meta_seen = true;
+        break;
+      }
+      case Section::kNodes: {
+        if (f.size() != 5) return ParseError(line_no, "node needs 5 fields");
+        NodeInfo n;
+        if (!ParseIntField(f[0], &n.id)) return malformed();
+        if (f[1] == "depot") {
+          n.kind = NodeKind::kDepot;
+        } else if (f[1] == "factory") {
+          n.kind = NodeKind::kFactory;
+        } else {
+          return ParseError(line_no, "bad node kind " + f[1]);
+        }
+        if (!ParseDoubleField(f[2], &n.x) || !ParseDoubleField(f[3], &n.y)) {
+          return malformed();
+        }
+        n.name = f[4];
+        if (n.id != static_cast<int>(nodes.size())) {
+          return ParseError(line_no, "node ids must be dense in order");
+        }
+        nodes.push_back(n);
+        break;
+      }
+      case Section::kDistances: {
+        if (f.size() != 3) {
+          return ParseError(line_no, "distance needs 3 fields");
+        }
+        int from = 0;
+        int to = 0;
+        double km = 0.0;
+        if (!ParseIntField(f[0], &from) || !ParseIntField(f[1], &to) ||
+            !ParseDoubleField(f[2], &km)) {
+          return malformed();
+        }
+        distances.emplace_back(from, to, km);
+        break;
+      }
+      case Section::kVehicleConfig: {
+        if (f.size() != 5) {
+          return ParseError(line_no, "vehicle config needs 5 fields");
+        }
+        VehicleConfig& cfg = inst.vehicle_config;
+        if (!ParseDoubleField(f[0], &cfg.capacity) ||
+            !ParseDoubleField(f[1], &cfg.fixed_cost) ||
+            !ParseDoubleField(f[2], &cfg.cost_per_km) ||
+            !ParseDoubleField(f[3], &cfg.speed_kmph) ||
+            !ParseDoubleField(f[4], &cfg.service_time_min)) {
+          return malformed();
+        }
+        break;
+      }
+      case Section::kVehicleDepots: {
+        if (f.size() != 1) return ParseError(line_no, "depot needs 1 field");
+        int depot = 0;
+        if (!ParseIntField(f[0], &depot)) return malformed();
+        inst.vehicle_depots.push_back(depot);
+        break;
+      }
+      case Section::kOrders: {
+        if (f.size() != 6) return ParseError(line_no, "order needs 6 fields");
+        Order o;
+        if (!ParseIntField(f[0], &o.id) ||
+            !ParseIntField(f[1], &o.pickup_node) ||
+            !ParseIntField(f[2], &o.delivery_node) ||
+            !ParseDoubleField(f[3], &o.quantity) ||
+            !ParseDoubleField(f[4], &o.create_time_min) ||
+            !ParseDoubleField(f[5], &o.latest_time_min)) {
+          return malformed();
+        }
+        inst.orders.push_back(o);
+        break;
+      }
     }
   }
 
+  if (!meta_seen) {
+    return Status::InvalidArgument("instance csv has no [meta] section");
+  }
   if (nodes.empty()) {
     return Status::InvalidArgument("instance csv has no [nodes] section");
   }
   nn::Matrix d(static_cast<int>(nodes.size()),
                static_cast<int>(nodes.size()));
+  // The distance matrix must be fully and uniquely specified: a truncated
+  // file would otherwise leave silent zero distances, which make every
+  // route look free.
+  std::vector<uint8_t> seen(nodes.size() * nodes.size(), 0);
   for (const auto& [from, to, km] : distances) {
     if (from < 0 || to < 0 || from >= d.rows() || to >= d.cols()) {
       return Status::InvalidArgument("distance endpoint out of range");
     }
+    uint8_t& mark = seen[static_cast<size_t>(from) * nodes.size() + to];
+    if (mark != 0) {
+      return Status::InvalidArgument(
+          "duplicate distance entry " + std::to_string(from) + "," +
+          std::to_string(to));
+    }
+    mark = 1;
     d(from, to) = km;
+  }
+  const size_t expected =
+      nodes.size() * nodes.size() - nodes.size();  // All off-diagonal pairs.
+  if (distances.size() != expected) {
+    return Status::InvalidArgument(
+        "distance section incomplete: got " +
+        std::to_string(distances.size()) + " entries, expected " +
+        std::to_string(expected));
   }
   DPDP_ASSIGN_OR_RETURN(RoadNetwork net,
                         RoadNetwork::Create(std::move(nodes), std::move(d)));

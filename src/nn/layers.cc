@@ -65,6 +65,29 @@ bool LoadParameters(std::istream* is, const std::vector<Parameter*>& params) {
   return true;
 }
 
+void SaveMatrix(const Matrix& m, std::ostream* os) {
+  const int32_t rows = m.rows();
+  const int32_t cols = m.cols();
+  os->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  os->write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(sizeof(double)) * m.size());
+}
+
+bool LoadMatrix(std::istream* is, Matrix* m) {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  is->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!*is || rows < 0 || cols < 0) return false;
+  Matrix loaded(rows, cols);
+  is->read(reinterpret_cast<char*>(loaded.data()),
+           static_cast<std::streamsize>(sizeof(double)) * loaded.size());
+  if (!*is) return false;
+  *m = std::move(loaded);
+  return true;
+}
+
 namespace {
 Matrix HeInit(int in_dim, int out_dim, Rng* rng) {
   Matrix w(in_dim, out_dim);

@@ -36,6 +36,15 @@ void SaveParameters(const std::vector<Parameter*>& params, std::ostream* os);
 /// Returns false on malformed input or shape mismatch.
 bool LoadParameters(std::istream* is, const std::vector<Parameter*>& params);
 
+/// Serializes a single matrix (i32 rows, i32 cols, row-major doubles).
+/// Building block of the checkpoint format (optimizer moments, best-weight
+/// snapshots) alongside SaveParameters.
+void SaveMatrix(const Matrix& m, std::ostream* os);
+
+/// Reads a matrix written by SaveMatrix into `m` (any prior shape is
+/// replaced). Returns false on malformed input.
+bool LoadMatrix(std::istream* is, Matrix* m);
+
 /// Fully-connected layer y = x W + b with cached input for backprop.
 /// Weights use He initialization (suited to the ReLU nets in this project).
 ///

@@ -211,6 +211,13 @@ bool Matrix::AllClose(const Matrix& other, double tol) const {
   return true;
 }
 
+bool Matrix::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 std::string Matrix::DebugString(int max_rows, int max_cols) const {
   std::ostringstream os;
   os << "Matrix(" << rows_ << "x" << cols_ << ")[";

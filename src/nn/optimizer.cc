@@ -1,6 +1,9 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 
 namespace dpdp::nn {
 
@@ -74,6 +77,38 @@ void Adam::Step() {
     }
     p->ZeroGrad();
   }
+}
+
+void Adam::SaveState(std::ostream* os) const {
+  const int64_t t = t_;
+  os->write(reinterpret_cast<const char*>(&t), sizeof(t));
+  const uint64_t n = m_.size();
+  os->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (size_t i = 0; i < m_.size(); ++i) {
+    SaveMatrix(m_[i], os);
+    SaveMatrix(v_[i], os);
+  }
+}
+
+bool Adam::LoadState(std::istream* is) {
+  int64_t t = 0;
+  is->read(reinterpret_cast<char*>(&t), sizeof(t));
+  uint64_t n = 0;
+  is->read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!*is || t < 0 || n != m_.size()) return false;
+  std::vector<Matrix> m(m_.size());
+  std::vector<Matrix> v(v_.size());
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!LoadMatrix(is, &m[i]) || !LoadMatrix(is, &v[i])) return false;
+    if (m[i].rows() != m_[i].rows() || m[i].cols() != m_[i].cols() ||
+        v[i].rows() != v_[i].rows() || v[i].cols() != v_[i].cols()) {
+      return false;
+    }
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
 }
 
 }  // namespace dpdp::nn

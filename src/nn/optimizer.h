@@ -1,6 +1,7 @@
 #ifndef DPDP_NN_OPTIMIZER_H_
 #define DPDP_NN_OPTIMIZER_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/layers.h"
@@ -45,6 +46,15 @@ class Adam : public Optimizer {
   Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8, double clip_norm = 0.0);
   void Step() override;
+
+  /// Serializes the optimizer's mutable state (step count + first/second
+  /// moments). Hyperparameters are not written — they are reconstructed
+  /// from config on restore, and a shape mismatch fails LoadState.
+  void SaveState(std::ostream* os) const;
+
+  /// Restores state written by SaveState. Returns false on malformed input
+  /// or moment-shape mismatch with the current parameter list.
+  bool LoadState(std::istream* is);
 
  private:
   double lr_;

@@ -56,6 +56,11 @@ int ActorCriticAgent::ChooseVehicle(const DispatchContext& context) {
   const SubFleetInputs in = BuildSubFleetInputs(
       state, idx, config_.use_graph, config_.num_neighbors);
   const std::vector<double> pi = PolicyOnSubFleet(in);
+  for (double p : pi) {
+    // A NaN logit survives the softmax as NaN; Categorical would abort on
+    // it. Hand the decision back so the simulator degrades gracefully.
+    if (!std::isfinite(p)) return -1;
+  }
 
   int sub_action = 0;
   if (training_) {
@@ -69,8 +74,19 @@ int ActorCriticAgent::ChooseVehicle(const DispatchContext& context) {
   if (training_) {
     episode_.push_back({StoredFleetState::FromFleetState(state), action,
                         InstantReward(context, action)});
+    decision_recorded_ = true;
   }
   return action;
+}
+
+void ActorCriticAgent::OnOrderAssigned(const DispatchContext& context,
+                                       int vehicle) {
+  if (!training_ || !decision_recorded_) return;
+  decision_recorded_ = false;
+  EpisodeStep& step = episode_.back();
+  if (vehicle == step.action) return;
+  step.action = vehicle;
+  step.instant_reward = InstantReward(context, vehicle);
 }
 
 void ActorCriticAgent::OnEpisodeEnd(const EpisodeResult& result) {

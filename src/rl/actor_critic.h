@@ -31,7 +31,13 @@ class ActorCriticAgent : public LearningDispatcher {
   ActorCriticAgent(const AgentConfig& config, std::string name = "AC");
 
   const char* name() const override { return name_.c_str(); }
+  /// Returns -1 when the actor emits a non-finite probability (NaN logits)
+  /// so the simulator can degrade to the greedy fallback; nothing is
+  /// recorded for such a decision.
   int ChooseVehicle(const DispatchContext& context) override;
+  /// Re-targets the just-recorded step when graceful degradation executed
+  /// a different vehicle than the sampled one.
+  void OnOrderAssigned(const DispatchContext& context, int vehicle) override;
   void OnEpisodeEnd(const EpisodeResult& result) override;
 
   void set_training(bool training) override { training_ = training; }
@@ -68,6 +74,8 @@ class ActorCriticAgent : public LearningDispatcher {
   int episodes_trained_ = 0;
   double last_policy_loss_ = 0.0;
   double last_value_loss_ = 0.0;
+  /// Gates the OnOrderAssigned sync to decisions that pushed a step.
+  bool decision_recorded_ = false;
   std::vector<EpisodeStep> episode_;
 };
 

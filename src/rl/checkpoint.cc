@@ -1,0 +1,126 @@
+#include "rl/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/crc32.h"
+
+namespace dpdp {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'P', 'D', 'P', 'C', 'K', 'P', '1'};
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, int episodes_done,
+                      const LearningDispatcher& agent) {
+  if (episodes_done < 0) {
+    return Status::InvalidArgument("episodes_done must be >= 0");
+  }
+  std::ostringstream payload_stream;
+  DPDP_RETURN_IF_ERROR(agent.SaveState(&payload_stream));
+  const std::string payload = payload_stream.str();
+
+  // Assemble the full file image in memory; checkpoints here are a few MB
+  // at most (tiny nets + float replay), so this is cheap and lets the CRC
+  // cover exactly the bytes on disk.
+  std::string body;
+  AppendPod(&body, kCheckpointVersion);
+  AppendPod(&body, static_cast<int32_t>(episodes_done));
+  AppendPod(&body, static_cast<uint64_t>(payload.size()));
+  body += payload;
+  const uint32_t crc = Crc32(body.data(), body.size());
+
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create checkpoint directory: " +
+                              ec.message());
+    }
+  }
+
+  // Atomic write: temp file + fsync + rename.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + tmp + " for writing");
+  }
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
+  ok = ok && std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = ok && std::fwrite(&crc, 1, sizeof(crc), f) == sizeof(crc);
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(::fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<int> LoadCheckpoint(const std::string& path,
+                           LearningDispatcher* agent) {
+  DPDP_CHECK(agent != nullptr);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("checkpoint not found: " + path);
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  // Smallest valid file: magic + version + episodes + payload size + CRC.
+  const size_t min_size = sizeof(kMagic) + sizeof(uint32_t) +
+                          sizeof(int32_t) + sizeof(uint64_t) +
+                          sizeof(uint32_t);
+  if (contents.size() < min_size) {
+    return Status::InvalidArgument("checkpoint truncated: " + path);
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  const char* body = contents.data() + sizeof(kMagic);
+  const size_t body_size = contents.size() - sizeof(kMagic) - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc,
+              contents.data() + contents.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (Crc32(body, body_size) != stored_crc) {
+    return Status::InvalidArgument("checkpoint CRC mismatch: " + path);
+  }
+  uint32_t version = 0;
+  int32_t episodes_done = 0;
+  uint64_t payload_size = 0;
+  size_t off = 0;
+  std::memcpy(&version, body + off, sizeof(version));
+  off += sizeof(version);
+  std::memcpy(&episodes_done, body + off, sizeof(episodes_done));
+  off += sizeof(episodes_done);
+  std::memcpy(&payload_size, body + off, sizeof(payload_size));
+  off += sizeof(payload_size);
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (episodes_done < 0 || payload_size != body_size - off) {
+    return Status::InvalidArgument("checkpoint payload size mismatch");
+  }
+  std::istringstream payload(std::string(body + off, payload_size));
+  DPDP_RETURN_IF_ERROR(agent->LoadState(&payload));
+  return static_cast<int>(episodes_done);
+}
+
+}  // namespace dpdp

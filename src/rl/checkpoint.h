@@ -1,0 +1,41 @@
+#ifndef DPDP_RL_CHECKPOINT_H_
+#define DPDP_RL_CHECKPOINT_H_
+
+#include <string>
+
+#include "rl/learning.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dpdp {
+
+/// Crash-safe training checkpoints.
+///
+/// File format (little-endian):
+///   8 bytes   magic "DPDPCKP1"
+///   u32       format version (kCheckpointVersion)
+///   i32       episodes_done
+///   u64       payload size in bytes
+///   payload   agent blob (LearningDispatcher::SaveState)
+///   u32       CRC32 over everything after the magic, up to here
+///
+/// SaveCheckpoint is atomic: the bytes go to `path`.tmp, are flushed and
+/// fsync'd, then renamed over `path` — a crash mid-write leaves the
+/// previous checkpoint intact, and the CRC footer catches torn or
+/// bit-rotted files on load.
+constexpr uint32_t kCheckpointVersion = 1;
+
+/// Writes a checkpoint for `agent` after `episodes_done` completed
+/// episodes. Creates parent directories as needed. Must be called at an
+/// episode boundary (agents refuse to serialize mid-episode state).
+Status SaveCheckpoint(const std::string& path, int episodes_done,
+                      const LearningDispatcher& agent);
+
+/// Restores `agent` from `path` and returns the episodes_done recorded in
+/// the file. Corruption (bad magic, size, CRC) or an agent/architecture
+/// mismatch yields kInvalidArgument; a missing file yields kNotFound.
+Result<int> LoadCheckpoint(const std::string& path, LearningDispatcher* agent);
+
+}  // namespace dpdp
+
+#endif  // DPDP_RL_CHECKPOINT_H_

@@ -1,7 +1,11 @@
 #include "rl/dqn_agent.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <utility>
 
 #include "nn/loss.h"
@@ -85,6 +89,12 @@ int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
     double best_q = -std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < idx.size(); ++i) {
       if (!state.feasible[idx[i]]) continue;
+      if (!std::isfinite(q[i])) {
+        // Poisoned network (NaN/Inf score for a feasible vehicle): refuse
+        // the whole decision so the simulator's greedy fallback takes over
+        // instead of argmax silently comparing garbage.
+        return -1;
+      }
       if (q[i] > best_q) {
         best_q = q[i];
         best = idx[i];
@@ -105,8 +115,20 @@ int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
     pending_.action = action;
     pending_.instant_reward = InstantReward(context, action);
     pending_.active = true;
+    decision_recorded_ = true;
   }
   return action;
+}
+
+void DqnFleetAgent::OnOrderAssigned(const DispatchContext& context,
+                                    int vehicle) {
+  if (!training_ || !decision_recorded_) return;
+  decision_recorded_ = false;
+  if (vehicle == pending_.action) return;
+  // Graceful degradation (or any simulator override) executed a different
+  // vehicle than we chose: learn from the action that actually happened.
+  pending_.action = vehicle;
+  pending_.instant_reward = InstantReward(context, vehicle);
 }
 
 void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
@@ -345,6 +367,103 @@ bool DqnFleetAgent::Load(std::istream* is) {
   if (!nn::LoadParameters(is, online_->Params())) return false;
   nn::CopyParameters(online_->Params(), target_->Params());
   return true;
+}
+
+namespace {
+
+constexpr uint32_t kAgentStateVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream* os, const T& value) {
+  os->write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream* is, T* value) {
+  is->read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(*is);
+}
+
+}  // namespace
+
+Status DqnFleetAgent::SaveState(std::ostream* os) const {
+  DPDP_CHECK(os != nullptr);
+  DPDP_CHECK(!pending_.active && episode_.empty());  // Episode boundary.
+  WritePod(os, kAgentStateVersion);
+  nn::SaveParameters(online_->Params(), os);
+  nn::SaveParameters(target_->Params(), os);
+  optimizer_->SaveState(os);
+  const Rng::State rng_state = rng_.GetState();
+  WritePod(os, rng_state.seed);
+  for (uint64_t word : rng_state.s) WritePod(os, word);
+  WritePod(os, static_cast<uint8_t>(rng_state.have_cached_normal ? 1 : 0));
+  WritePod(os, rng_state.cached_normal);
+  WritePod(os, epsilon_);
+  WritePod(os, static_cast<int32_t>(episodes_trained_));
+  WritePod(os, last_loss_);
+  WritePod(os, best_episode_cost_);
+  WritePod(os, static_cast<uint64_t>(best_weights_.size()));
+  for (const nn::Matrix& m : best_weights_) nn::SaveMatrix(m, os);
+  replay_.Save(os);
+  if (!*os) return Status::Internal("agent state write failed");
+  return Status::OK();
+}
+
+Status DqnFleetAgent::LoadState(std::istream* is) {
+  DPDP_CHECK(is != nullptr);
+  uint32_t version = 0;
+  if (!ReadPod(is, &version) || version != kAgentStateVersion) {
+    return Status::InvalidArgument("unsupported agent state version");
+  }
+  if (!nn::LoadParameters(is, online_->Params()) ||
+      !nn::LoadParameters(is, target_->Params())) {
+    return Status::InvalidArgument(
+        "agent weights malformed or architecture mismatch");
+  }
+  if (!optimizer_->LoadState(is)) {
+    return Status::InvalidArgument("optimizer state malformed");
+  }
+  Rng::State rng_state;
+  uint8_t have_cached = 0;
+  if (!ReadPod(is, &rng_state.seed) || !ReadPod(is, &rng_state.s[0]) ||
+      !ReadPod(is, &rng_state.s[1]) || !ReadPod(is, &rng_state.s[2]) ||
+      !ReadPod(is, &rng_state.s[3]) || !ReadPod(is, &have_cached) ||
+      !ReadPod(is, &rng_state.cached_normal)) {
+    return Status::InvalidArgument("rng state malformed");
+  }
+  rng_state.have_cached_normal = have_cached != 0;
+  double epsilon = 0.0;
+  int32_t episodes_trained = 0;
+  double last_loss = 0.0;
+  double best_cost = 0.0;
+  uint64_t num_best = 0;
+  if (!ReadPod(is, &epsilon) || !ReadPod(is, &episodes_trained) ||
+      !ReadPod(is, &last_loss) || !ReadPod(is, &best_cost) ||
+      !ReadPod(is, &num_best) || episodes_trained < 0 ||
+      num_best > (1ull << 20)) {
+    return Status::InvalidArgument("agent scalar state malformed");
+  }
+  std::vector<nn::Matrix> best_weights(num_best);
+  for (nn::Matrix& m : best_weights) {
+    if (!nn::LoadMatrix(is, &m)) {
+      return Status::InvalidArgument("best-weights snapshot malformed");
+    }
+  }
+  if (!replay_.Load(is)) {
+    return Status::InvalidArgument("replay buffer malformed");
+  }
+  rng_.SetState(rng_state);
+  epsilon_ = epsilon;
+  episodes_trained_ = episodes_trained;
+  last_loss_ = last_loss;
+  best_episode_cost_ = best_cost;
+  best_weights_ = std::move(best_weights);
+  pending_ = Pending{};
+  decision_recorded_ = false;
+  episode_.clear();
+  // Cached worker clones hold pre-restore weights; force a resync.
+  ++batch_generation_;
+  return Status::OK();
 }
 
 }  // namespace dpdp

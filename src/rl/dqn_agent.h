@@ -29,7 +29,13 @@ class DqnFleetAgent : public LearningDispatcher {
   ~DqnFleetAgent() override;
 
   const char* name() const override { return name_.c_str(); }
+  /// Returns -1 (no usable choice) when the network emits a non-finite
+  /// Q-value for any feasible vehicle; the simulator then degrades to the
+  /// greedy fallback. Nothing is recorded for such a decision.
   int ChooseVehicle(const DispatchContext& context) override;
+  /// Syncs the recorded transition onto the vehicle the simulator actually
+  /// executed (they differ when graceful degradation overrode the choice).
+  void OnOrderAssigned(const DispatchContext& context, int vehicle) override;
   void OnEpisodeEnd(const EpisodeResult& result) override;
   /// Restores the best-episode weight snapshot (if any) into the online
   /// and target networks.
@@ -51,6 +57,14 @@ class DqnFleetAgent : public LearningDispatcher {
   /// Serializes / restores the online network weights.
   void Save(std::ostream* os);
   bool Load(std::istream* is);
+
+  /// Full training-state checkpoint (weights, target, optimizer moments,
+  /// RNG, epsilon schedule, best-weights snapshot, replay buffer). Must be
+  /// called at an episode boundary — mid-episode pending transitions are
+  /// not captured. LoadState + continued training is bit-identical to an
+  /// uninterrupted run.
+  Status SaveState(std::ostream* os) const override;
+  Status LoadState(std::istream* is) override;
 
  private:
   struct Pending {
@@ -113,6 +127,10 @@ class DqnFleetAgent : public LearningDispatcher {
   int episodes_trained_ = 0;
   double last_loss_ = 0.0;
   Pending pending_;
+  /// True between a ChooseVehicle that recorded pending_ and the matching
+  /// OnOrderAssigned; gates the executed-action sync so a degraded
+  /// decision (nothing recorded) cannot clobber stale pending state.
+  bool decision_recorded_ = false;
   std::vector<EpisodeStep> episode_;
   double best_episode_cost_ = 0.0;
   std::vector<nn::Matrix> best_weights_;  ///< Empty until first snapshot.

@@ -1,7 +1,10 @@
 #ifndef DPDP_RL_LEARNING_H_
 #define DPDP_RL_LEARNING_H_
 
+#include <iosfwd>
+
 #include "sim/dispatcher.h"
+#include "util/status.h"
 
 namespace dpdp {
 
@@ -15,6 +18,21 @@ class LearningDispatcher : public Dispatcher {
   /// Called once after the training loop, before greedy evaluation
   /// (e.g. to restore best-episode weights). Default: no-op.
   virtual void FinalizeTraining() {}
+
+  /// Checkpoint hooks (rl/checkpoint.h wraps these in an atomic
+  /// CRC-footered file). SaveState must capture *all* mutable training
+  /// state — weights, optimizer moments, replay buffer, RNG, schedules —
+  /// so that LoadState + continuing training is bit-identical to never
+  /// having stopped. Agents that don't support this keep the default,
+  /// which fails with kFailedPrecondition.
+  virtual Status SaveState(std::ostream* os) const {
+    (void)os;
+    return Status::FailedPrecondition("agent does not support checkpointing");
+  }
+  virtual Status LoadState(std::istream* is) {
+    (void)is;
+    return Status::FailedPrecondition("agent does not support checkpointing");
+  }
 };
 
 }  // namespace dpdp

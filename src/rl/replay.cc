@@ -1,6 +1,58 @@
 #include "rl/replay.h"
 
+#include <istream>
+#include <ostream>
+
 namespace dpdp {
+namespace {
+
+template <typename T>
+void WritePod(std::ostream* os, const T& value) {
+  os->write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream* is, T* value) {
+  is->read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(*is);
+}
+
+template <typename T>
+void WriteVec(std::ostream* os, const std::vector<T>& v) {
+  WritePod(os, static_cast<uint64_t>(v.size()));
+  os->write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(sizeof(T) * v.size()));
+}
+
+template <typename T>
+bool ReadVec(std::istream* is, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(is, &n)) return false;
+  // Sanity cap: no stored fleet in this project comes close to 2^24 floats;
+  // a larger count means the stream is corrupt.
+  if (n > (1ull << 24)) return false;
+  v->resize(n);
+  is->read(reinterpret_cast<char*>(v->data()),
+           static_cast<std::streamsize>(sizeof(T) * v->size()));
+  return static_cast<bool>(*is);
+}
+
+void WriteStoredState(std::ostream* os, const StoredFleetState& s) {
+  WritePod(os, static_cast<int32_t>(s.num_vehicles));
+  WriteVec(os, s.features);
+  WriteVec(os, s.feasible);
+  WriteVec(os, s.positions);
+}
+
+bool ReadStoredState(std::istream* is, StoredFleetState* s) {
+  int32_t nv = 0;
+  if (!ReadPod(is, &nv) || nv < 0) return false;
+  s->num_vehicles = nv;
+  return ReadVec(is, &s->features) && ReadVec(is, &s->feasible) &&
+         ReadVec(is, &s->positions);
+}
+
+}  // namespace
 
 StoredFleetState StoredFleetState::FromFleetState(const FleetState& s) {
   StoredFleetState out;
@@ -60,6 +112,48 @@ std::vector<const Transition*> ReplayBuffer::Sample(int n, Rng* rng) const {
     out.push_back(&data_[static_cast<size_t>(rng->UniformInt(size()))]);
   }
   return out;
+}
+
+void ReplayBuffer::Save(std::ostream* os) const {
+  WritePod(os, static_cast<int32_t>(capacity_));
+  WritePod(os, static_cast<uint64_t>(write_pos_));
+  WritePod(os, static_cast<uint64_t>(data_.size()));
+  for (const Transition& t : data_) {
+    WriteStoredState(os, t.state);
+    WritePod(os, static_cast<int32_t>(t.action));
+    WritePod(os, t.reward);
+    WritePod(os, static_cast<uint8_t>(t.terminal ? 1 : 0));
+    WriteStoredState(os, t.next_state);
+  }
+}
+
+bool ReplayBuffer::Load(std::istream* is) {
+  int32_t capacity = 0;
+  uint64_t write_pos = 0;
+  uint64_t n = 0;
+  if (!ReadPod(is, &capacity) || !ReadPod(is, &write_pos) ||
+      !ReadPod(is, &n)) {
+    return false;
+  }
+  if (capacity != capacity_ || n > static_cast<uint64_t>(capacity) ||
+      write_pos >= static_cast<uint64_t>(capacity)) {
+    return false;
+  }
+  std::vector<Transition> data(n);
+  for (Transition& t : data) {
+    int32_t action = 0;
+    uint8_t terminal = 0;
+    if (!ReadStoredState(is, &t.state) || !ReadPod(is, &action) ||
+        !ReadPod(is, &t.reward) || !ReadPod(is, &terminal) ||
+        !ReadStoredState(is, &t.next_state)) {
+      return false;
+    }
+    t.action = action;
+    t.terminal = terminal != 0;
+  }
+  data_ = std::move(data);
+  write_pos_ = write_pos;
+  return true;
 }
 
 }  // namespace dpdp

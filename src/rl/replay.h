@@ -2,6 +2,7 @@
 #define DPDP_RL_REPLAY_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -47,6 +48,15 @@ class ReplayBuffer {
 
   /// Uniformly samples `n` transitions (with replacement when n > size).
   std::vector<const Transition*> Sample(int n, Rng* rng) const;
+
+  /// Serializes contents + write cursor (binary). Part of the training
+  /// checkpoint: resuming with the exact buffer contents is required for
+  /// bit-identical kill-and-resume.
+  void Save(std::ostream* os) const;
+
+  /// Restores state written by Save. Returns false on malformed input or a
+  /// capacity mismatch with this buffer.
+  bool Load(std::istream* is);
 
  private:
   int capacity_;

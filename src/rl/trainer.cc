@@ -1,8 +1,20 @@
 #include "rl/trainer.h"
 
+#include <cstdio>
+
+#include "rl/checkpoint.h"
+#include "rl/learning.h"
 #include "stpred/std_matrix.h"
+#include "util/env.h"
 
 namespace dpdp {
+
+std::string TrainOptions::checkpoint_path(
+    const std::string& agent_name) const {
+  std::string dir = checkpoint_dir;
+  if (dir.empty()) dir = EnvStr("DPDP_CHECKPOINT_DIR", ".");
+  return dir + "/" + agent_name + ".ckpt";
+}
 
 double TrainingCurve::TailMean(const std::vector<double>& series,
                                int window) {
@@ -19,7 +31,34 @@ TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
   DPDP_CHECK(simulator != nullptr && dispatcher != nullptr);
   TrainingCurve curve;
   curve.agent_name = dispatcher->name();
-  for (int e = 0; e < options.episodes; ++e) {
+
+  auto* learner = dynamic_cast<LearningDispatcher*>(dispatcher);
+  int start_episode = 0;
+  if (!options.resume_from.empty()) {
+    // Resuming from a checkpoint that doesn't restore is a correctness
+    // hazard (a fresh agent would silently masquerade as a trained one),
+    // so fail loudly instead of falling back.
+    DPDP_CHECK(learner != nullptr);
+    Result<int> resumed = LoadCheckpoint(options.resume_from, learner);
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "FATAL: cannot resume from %s: %s\n",
+                   options.resume_from.c_str(),
+                   resumed.status().ToString().c_str());
+      DPDP_CHECK(resumed.ok());
+    }
+    start_episode = resumed.value();
+    // Align the simulator's episode counter so the remaining episodes draw
+    // the same disruption streams an uninterrupted run would have.
+    simulator->set_episodes_run(start_episode);
+  }
+
+  const bool checkpointing =
+      options.checkpoint_every > 0 && learner != nullptr;
+  const std::string ckpt_path =
+      checkpointing ? options.checkpoint_path(curve.agent_name)
+                    : std::string();
+
+  for (int e = start_episode; e < options.episodes; ++e) {
     const EpisodeResult result = simulator->RunEpisode(dispatcher);
     curve.nuv.push_back(result.nuv);
     curve.total_cost.push_back(result.total_cost);
@@ -29,6 +68,17 @@ TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
     }
     curve.episodes.push_back(result);
     if (options.on_episode) options.on_episode(e, result);
+    if (checkpointing && ((e + 1 - start_episode) % options.checkpoint_every ==
+                              0 ||
+                          e + 1 == options.episodes)) {
+      const Status saved = SaveCheckpoint(ckpt_path, e + 1, *learner);
+      if (!saved.ok()) {
+        // A failed periodic save must not kill training — warn and go on;
+        // the next interval retries.
+        std::fprintf(stderr, "WARNING: checkpoint save failed: %s\n",
+                     saved.ToString().c_str());
+      }
+    }
   }
   return curve;
 }

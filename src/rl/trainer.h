@@ -32,11 +32,30 @@ struct TrainOptions {
   nn::Matrix demand_for_diff;
   /// Optional progress callback (episode index, result).
   std::function<void(int, const EpisodeResult&)> on_episode;
+
+  /// Crash safety: when > 0 and the dispatcher is a LearningDispatcher, a
+  /// checkpoint is written after every `checkpoint_every` episodes (and
+  /// after the last one) to `checkpoint_path()`.
+  int checkpoint_every = 0;
+  /// Checkpoint file directory; empty falls back to the DPDP_CHECKPOINT_DIR
+  /// environment variable, then to "." .
+  std::string checkpoint_dir;
+  /// When set, training resumes from this checkpoint file: the agent state
+  /// is restored, the simulator's episode counter is aligned (so disruption
+  /// streams match), and the loop starts at the recorded episode. The
+  /// curve only contains the episodes run in this call. A missing or
+  /// corrupt file aborts loudly rather than silently restarting from
+  /// scratch.
+  std::string resume_from;
+
+  /// Where checkpoints land: <dir>/<agent name>.ckpt.
+  std::string checkpoint_path(const std::string& agent_name) const;
 };
 
 /// Runs `options.episodes` episodes of `simulator` under `dispatcher`
 /// (the dispatcher should be in training mode if it learns) and records
-/// the per-episode metrics.
+/// the per-episode metrics. With checkpointing enabled, kill + resume
+/// reproduces the uninterrupted run bit-for-bit.
 TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
                           const TrainOptions& options);
 

@@ -9,6 +9,7 @@
 #include "model/instance.h"
 #include "model/order.h"
 #include "routing/route_planner.h"
+#include "sim/disruption.h"
 
 namespace dpdp {
 
@@ -39,6 +40,33 @@ struct DispatchContext {
   int num_feasible = 0;
 };
 
+/// Why an order ended the episode unserved. Replaces the previous bare
+/// num_unserved counter: post-mortems need to distinguish "the fleet had no
+/// feasible vehicle" from injected faults.
+enum class SkipReason {
+  kNoFeasibleVehicle,  ///< Constraint embedding left zero options.
+  kCancelled,          ///< Customer cancellation (before pickup committed).
+  kBreakdownDropped,   ///< Breakdown re-plan found no feasible vehicle.
+};
+
+inline const char* SkipReasonName(SkipReason reason) {
+  switch (reason) {
+    case SkipReason::kNoFeasibleVehicle:
+      return "no_feasible_vehicle";
+    case SkipReason::kCancelled:
+      return "cancelled";
+    case SkipReason::kBreakdownDropped:
+      return "breakdown_dropped";
+  }
+  return "unknown";
+}
+
+/// One unserved order with its reason.
+struct OrderSkip {
+  int order_id = -1;
+  SkipReason reason = SkipReason::kNoFeasibleVehicle;
+};
+
 /// Outcome summary of one simulated day (episode).
 struct EpisodeResult {
   std::string instance_name;
@@ -57,6 +85,16 @@ struct EpisodeResult {
   /// Kilometres shaved off planned suffixes by per-decision local search
   /// (0 unless SimulatorConfig::local_search_passes > 0).
   double local_search_km_saved = 0.0;
+
+  /// Robustness telemetry (all 0 / empty unless fault injection or
+  /// degradation triggered — see SimulatorConfig::disruption and
+  /// decision_time_budget_s).
+  int num_degraded_decisions = 0;  ///< Greedy fallback took over.
+  int num_cancelled = 0;           ///< Orders lost to cancellation events.
+  int num_breakdowns = 0;          ///< Breakdown events applied.
+  int num_replanned = 0;           ///< Orders moved off broken vehicles.
+  std::vector<OrderSkip> skipped_orders;          ///< One per unserved order.
+  std::vector<AppliedDisruption> disruption_trace;  ///< Applied events.
 
   /// The problem's formal outputs (Sec. III), filled when
   /// SimulatorConfig::record_plan is set:

@@ -1,0 +1,128 @@
+#include "sim/disruption.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace dpdp {
+
+const char* DisruptionKindName(DisruptionKind kind) {
+  switch (kind) {
+    case DisruptionKind::kBreakdown:
+      return "breakdown";
+    case DisruptionKind::kCancellation:
+      return "cancellation";
+    case DisruptionKind::kTravelInflation:
+      return "travel_inflation";
+  }
+  return "unknown";
+}
+
+std::string AppliedDisruption::DebugString() const {
+  std::ostringstream os;
+  os << DisruptionKindName(event.kind) << " t=" << event.time;
+  if (event.vehicle >= 0) os << " vehicle=" << event.vehicle;
+  if (event.order >= 0) os << " order=" << event.order;
+  if (event.duration_min > 0.0) os << " duration=" << event.duration_min;
+  if (event.kind == DisruptionKind::kTravelInflation) {
+    os << " factor=" << event.factor;
+  }
+  if (orders_replanned > 0) os << " replanned=" << orders_replanned;
+  if (orders_dropped > 0) os << " dropped=" << orders_dropped;
+  if (ignored) os << " (ignored)";
+  return os.str();
+}
+
+std::vector<DisruptionEvent> GenerateDisruptionEvents(
+    const DisruptionConfig& cfg, const Instance& instance, int episode) {
+  std::vector<DisruptionEvent> events;
+  if (!cfg.any()) return events;
+  const Rng base(Rng::DeriveSeed(cfg.seed, static_cast<uint64_t>(episode)));
+  const double horizon = instance.horizon_minutes;
+
+  if (cfg.breakdown_prob > 0.0) {
+    Rng rng = base.Fork(0);
+    for (int v = 0; v < instance.num_vehicles(); ++v) {
+      // Draw the full tuple unconditionally so per-vehicle streams stay
+      // aligned when probabilities change.
+      const bool hit = rng.Bernoulli(cfg.breakdown_prob);
+      const double time = rng.Uniform(0.0, horizon);
+      const double duration = rng.Uniform(cfg.breakdown_min_duration_min,
+                                          cfg.breakdown_max_duration_min);
+      if (!hit) continue;
+      DisruptionEvent e;
+      e.kind = DisruptionKind::kBreakdown;
+      e.time = time;
+      e.vehicle = v;
+      e.duration_min = duration;
+      events.push_back(e);
+    }
+  }
+
+  if (cfg.cancel_prob > 0.0) {
+    Rng rng = base.Fork(1);
+    for (const Order& order : instance.orders) {
+      const bool hit = rng.Bernoulli(cfg.cancel_prob);
+      const double delay = rng.Uniform(0.0, cfg.cancel_max_delay_min);
+      if (!hit) continue;
+      DisruptionEvent e;
+      e.kind = DisruptionKind::kCancellation;
+      e.time = order.create_time_min + delay;
+      e.order = order.id;
+      events.push_back(e);
+    }
+  }
+
+  if (cfg.inflation_prob > 0.0) {
+    Rng rng = base.Fork(2);
+    for (int v = 0; v < instance.num_vehicles(); ++v) {
+      const bool hit = rng.Bernoulli(cfg.inflation_prob);
+      const double time = rng.Uniform(0.0, horizon);
+      const double factor =
+          rng.Uniform(cfg.inflation_min_factor, cfg.inflation_max_factor);
+      const double duration = rng.Uniform(cfg.inflation_min_duration_min,
+                                          cfg.inflation_max_duration_min);
+      if (!hit) continue;
+      DisruptionEvent start;
+      start.kind = DisruptionKind::kTravelInflation;
+      start.time = time;
+      start.vehicle = v;
+      start.factor = factor;
+      events.push_back(start);
+      DisruptionEvent end = start;
+      end.time = time + duration;
+      end.factor = 1.0;
+      events.push_back(end);
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const DisruptionEvent& a, const DisruptionEvent& b) {
+                     return std::tie(a.time, a.kind, a.vehicle, a.order) <
+                            std::tie(b.time, b.kind, b.vehicle, b.order);
+                   });
+  return events;
+}
+
+Status WriteDisruptionTraceCsv(const std::string& path,
+                               const std::vector<AppliedDisruption>& trace) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open " + path + " for writing");
+  os << "kind,time,vehicle,order,duration_min,factor,orders_replanned,"
+        "orders_dropped,ignored\n";
+  for (const AppliedDisruption& a : trace) {
+    os << DisruptionKindName(a.event.kind) << ',' << a.event.time << ','
+       << a.event.vehicle << ',' << a.event.order << ','
+       << a.event.duration_min << ',' << a.event.factor << ','
+       << a.orders_replanned << ',' << a.orders_dropped << ','
+       << (a.ignored ? 1 : 0) << '\n';
+  }
+  os.flush();
+  if (!os) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace dpdp

@@ -1,6 +1,7 @@
 #ifndef DPDP_SIM_SIMULATOR_H_
 #define DPDP_SIM_SIMULATOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -35,6 +36,15 @@ struct SimulatorConfig {
   /// Fill EpisodeResult::order_assignment / routes (the problem's formal
   /// OA / RP outputs).
   bool record_plan = false;
+  /// Fault injection (sim/disruption.h). Default injects nothing. Episode
+  /// e draws its event stream from DeriveSeed(disruption.seed, e), where e
+  /// counts RunEpisode calls on this Simulator (see set_episodes_run).
+  DisruptionConfig disruption;
+  /// Graceful-degradation time budget: when > 0 and a ChooseVehicle call
+  /// takes longer than this many wall seconds, the decision is discarded
+  /// and the greedy-insertion fallback dispatches instead. Off by default
+  /// because wall-clock thresholds break run-to-run determinism.
+  double decision_time_budget_s = 0.0;
 };
 
 /// The dispatching simulator of Algorithm 1: replays one day's order stream
@@ -59,13 +69,38 @@ class Simulator {
 
   const Instance& instance() const { return *instance_; }
 
+  /// Number of episodes completed on this simulator: the disruption-stream
+  /// index of the next episode. The trainer restores it on checkpoint
+  /// resume so the remaining episodes see the same fault streams an
+  /// uninterrupted run would have.
+  int episodes_run() const { return episodes_run_; }
+  void set_episodes_run(int episodes) { episodes_run_ = episodes; }
+
  private:
   DispatchContext BuildContext(const Order& order, double decision_time);
+
+  /// Applies every pending disruption event with time <= now.
+  void ProcessDisruptionsUntil(double now, EpisodeResult* result);
+  void ApplyBreakdown(const DisruptionEvent& event, EpisodeResult* result);
+  void ApplyCancellation(const DisruptionEvent& event, EpisodeResult* result);
+
+  /// Baseline-1 fallback (min incremental length over feasible options)
+  /// used when the dispatcher's answer is unusable. Requires
+  /// ctx.num_feasible > 0.
+  static int GreedyFallback(const DispatchContext& ctx);
 
   const Instance* instance_;
   SimulatorConfig config_;
   RoutePlanner planner_;
   std::vector<VehicleState> vehicles_;
+
+  int episodes_run_ = 0;
+  // Per-episode fault-injection state.
+  std::vector<DisruptionEvent> events_;
+  size_t next_event_ = 0;
+  std::vector<int> assigned_to_;     ///< order id -> current vehicle or -1.
+  std::vector<uint8_t> dispatched_;  ///< Decision already made / resolved.
+  std::vector<uint8_t> cancelled_;   ///< Cancelled before dispatch.
 };
 
 }  // namespace dpdp

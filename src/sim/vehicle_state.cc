@@ -21,12 +21,16 @@ const Order& VehicleState::LookupOrder(int id) const {
 }
 
 double VehicleState::TravelMinutes(int from, int to) const {
-  return net_->TravelTimeMinutes(from, to,
+  return travel_time_scale_ *
+         net_->TravelTimeMinutes(from, to,
                                  instance_->vehicle_config.speed_kmph);
 }
 
 void VehicleState::Depart(double depart_time) {
   DPDP_CHECK(next_idx_ < stops_.size());
+  // A breakdown hold delays departure; the leg itself is uncommitted until
+  // this moment, so waiting at the current node is always legal.
+  depart_time = std::max(depart_time, hold_until_);
   const int from = (phase_ == Phase::kIdle) ? idle_node_
                                             : stops_[next_idx_ - 1].node;
   from_node_ = from;
@@ -116,14 +120,16 @@ PlanAnchor VehicleState::MakeAnchor() const {
   PlanAnchor anchor;
   if (phase_ == Phase::kIdle) {
     anchor.node = idle_node_;
-    anchor.time = clock_;
+    // An active hold delays the earliest possible departure, so planning
+    // must anchor at the repair time, not the current clock.
+    anchor.time = std::max(clock_, hold_until_);
     anchor.onboard = onboard_;
     return anchor;
   }
   // The committed stop completes first; the suffix departs from it.
   const Stop& stop = stops_[next_idx_];
   anchor.node = stop.node;
-  anchor.time = PredictedServiceEnd();
+  anchor.time = std::max(PredictedServiceEnd(), hold_until_);
   anchor.onboard = onboard_;
   if (stop.type == StopType::kPickup) {
     anchor.onboard.push_back(stop.order_id);

@@ -1,6 +1,7 @@
 #ifndef DPDP_SIM_VEHICLE_STATE_H_
 #define DPDP_SIM_VEHICLE_STATE_H_
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -69,12 +70,34 @@ class VehicleState {
   /// the assigned-order counter and marks the vehicle used.
   void ApplyNewSuffix(std::vector<Stop> new_suffix, bool serves_order);
 
+  /// Bookkeeping hook for disruptions that pull `n` previously assigned
+  /// orders off this vehicle (breakdown re-plan, cancellation).
+  void NoteOrdersRemoved(int n) {
+    DPDP_CHECK(n >= 0 && n <= num_assigned_orders_);
+    num_assigned_orders_ -= n;
+  }
+
   /// Runs the route to completion (including the return-to-depot leg) and
   /// returns the total route length in km; 0 for a never-used vehicle.
   double FinishRoute();
 
   /// Current clock of this vehicle (last AdvanceTo / apply time).
   double clock() const { return clock_; }
+
+  /// Breakdown freeze: until simulated minute `t` the vehicle finishes its
+  /// committed leg/service (no interference) but cannot depart toward any
+  /// further stop. Calls accumulate via max.
+  void HoldUntil(double t) { hold_until_ = std::max(hold_until_, t); }
+  double hold_until() const { return hold_until_; }
+
+  /// Travel-time inflation factor applied to legs departed on from now on
+  /// (congestion). Distances/costs are unaffected; a leg already in flight
+  /// keeps its original arrival time (it is committed).
+  void SetTravelTimeScale(double scale) {
+    DPDP_CHECK(scale > 0.0);
+    travel_time_scale_ = scale;
+  }
+  double travel_time_scale() const { return travel_time_scale_; }
 
  private:
   enum class Phase { kIdle, kDriving, kServing };
@@ -104,6 +127,8 @@ class VehicleState {
   double service_end_ = 0.0;  ///< Valid when kServing.
 
   std::vector<int> onboard_;  ///< LIFO stack of order ids.
+  double hold_until_ = 0.0;
+  double travel_time_scale_ = 1.0;
   double load_ = 0.0;
   double committed_length_ = 0.0;
   bool used_ = false;

@@ -1,0 +1,19 @@
+#ifndef DPDP_UTIL_CRC32_H_
+#define DPDP_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpdp {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `len` bytes. Used as the
+/// integrity footer of training checkpoints so a torn or bit-rotted file is
+/// detected on load instead of silently resuming from garbage.
+///
+/// `seed` lets callers chain partial buffers:
+///   crc = Crc32(a, na); crc = Crc32(b, nb, crc);
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_CRC32_H_

@@ -16,6 +16,12 @@ double EnvDouble(const char* name, double fallback) {
   return std::atof(v);
 }
 
+std::string EnvStr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::string(v);
+}
+
 bool FastMode() { return EnvInt("DPDP_FAST", 0) != 0; }
 
 }  // namespace dpdp

@@ -1,6 +1,8 @@
 #ifndef DPDP_UTIL_ENV_H_
 #define DPDP_UTIL_ENV_H_
 
+#include <string>
+
 namespace dpdp {
 
 /// Reads an integer / double from the environment (bench binaries honour
@@ -8,6 +10,10 @@ namespace dpdp {
 /// the runtime itself honours DPDP_THREADS and DPDP_PARALLEL_BATCH).
 int EnvInt(const char* name, int fallback);
 double EnvDouble(const char* name, double fallback);
+
+/// Reads a string from the environment (e.g. DPDP_CHECKPOINT_DIR, the
+/// default checkpoint directory of the trainer). Empty values fall back.
+std::string EnvStr(const char* name, const std::string& fallback);
 
 /// True when DPDP_FAST is set to a non-zero value: bench binaries shrink
 /// training budgets for smoke runs.

@@ -1,0 +1,49 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <string>
+#include <thread>
+
+namespace dpdp {
+
+bool IsTransientFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status RunWithRetry(const std::function<Status()>& fn,
+                    const RetryPolicy& policy, int* attempts) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  double backoff_ms = static_cast<double>(policy.initial_backoff_ms);
+  Status last = Status::OK();
+  int made = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++made;
+    try {
+      last = fn();
+    } catch (const std::exception& e) {
+      last = Status::Internal(std::string("uncaught exception: ") + e.what());
+    } catch (...) {
+      last = Status::Internal("uncaught non-standard exception");
+    }
+    if (last.ok() || !IsTransientFailure(last.code())) break;
+    if (attempt + 1 < max_attempts && backoff_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int>(std::min(backoff_ms,
+                                    static_cast<double>(policy.max_backoff_ms)))));
+      backoff_ms *= policy.backoff_multiplier;
+    }
+  }
+  if (attempts != nullptr) *attempts = made;
+  return last;
+}
+
+}  // namespace dpdp

@@ -1,0 +1,39 @@
+#ifndef DPDP_UTIL_RETRY_H_
+#define DPDP_UTIL_RETRY_H_
+
+#include <functional>
+
+#include "util/status.h"
+
+namespace dpdp {
+
+/// Capped exponential backoff for harness-level seed tasks. A transient
+/// failure (see IsTransientFailure) is retried up to `max_attempts` total
+/// attempts with sleeps of initial_backoff_ms * multiplier^k between them;
+/// permanent failures return immediately so a malformed instance does not
+/// burn the whole backoff budget.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int initial_backoff_ms = 10;
+  double backoff_multiplier = 4.0;
+  int max_backoff_ms = 2000;
+};
+
+/// Transient = plausibly succeeds on retry: kInternal (unexpected exception),
+/// kResourceExhausted, kTimeout. Everything else (invalid argument, not
+/// found, infeasible, failed precondition, ...) is a property of the input
+/// and retrying cannot help.
+bool IsTransientFailure(StatusCode code);
+
+/// Runs `fn` under `policy`. Exceptions escaping `fn` are converted to
+/// Status::Internal (and therefore treated as transient). Returns the first
+/// permanent failure, the last transient failure after the attempt budget is
+/// exhausted, or OK. If `attempts` is non-null it receives the number of
+/// attempts actually made.
+Status RunWithRetry(const std::function<Status()>& fn,
+                    const RetryPolicy& policy = RetryPolicy(),
+                    int* attempts = nullptr);
+
+}  // namespace dpdp
+
+#endif  // DPDP_UTIL_RETRY_H_

@@ -130,4 +130,20 @@ int Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng::State Rng::GetState() const {
+  State st;
+  st.seed = seed_;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.have_cached_normal = have_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::SetState(const State& state) {
+  seed_ = state.seed;
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace dpdp

@@ -81,6 +81,18 @@ class Rng {
   /// The seed this RNG was constructed with (sub-stream derivation key).
   uint64_t seed() const { return seed_; }
 
+  /// Full generator state, for checkpointing. Restoring via SetState makes
+  /// the subsequent draw sequence bit-identical to the captured generator,
+  /// including the Box-Muller cached half-sample.
+  struct State {
+    uint64_t seed = 0;
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t seed_;
   uint64_t s_[4];

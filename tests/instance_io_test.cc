@@ -108,6 +108,87 @@ TEST(InstanceIo, LoadRejectsMalformedNumbers) {
   EXPECT_FALSE(LoadInstanceCsv(&corrupted).ok());
 }
 
+TEST(InstanceIo, LoadRejectsPartiallyNumericFields) {
+  // "12x" must not silently parse as 12 (std::stoi would accept it).
+  const Instance original =
+      MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  std::stringstream buffer;
+  SaveInstanceCsv(original, &buffer);
+  std::string text = buffer.str();
+  const size_t pos = text.find("[orders]");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t field = text.find("10,", pos);  // create_min column.
+  ASSERT_NE(field, std::string::npos);
+  text.replace(field, 3, "10x,");
+  std::stringstream corrupted(text);
+  const Result<Instance> r = LoadInstanceCsv(&corrupted);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceIo, LoadRejectsTruncatedFile) {
+  // Cutting the file mid-way leaves the distance matrix incomplete; the
+  // loader must notice instead of defaulting missing entries to zero.
+  const Instance original =
+      MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  std::stringstream buffer;
+  SaveInstanceCsv(original, &buffer);
+  const std::string text = buffer.str();
+  const size_t cut = text.find("[vehicle_config]");
+  ASSERT_NE(cut, std::string::npos);
+  // Keep the header and roughly half of the distance rows.
+  const size_t dist = text.find("[distances]");
+  ASSERT_NE(dist, std::string::npos);
+  const size_t half = dist + (cut - dist) / 2;
+  const size_t line_end = text.find('\n', half);
+  ASSERT_NE(line_end, std::string::npos);
+  std::stringstream truncated(text.substr(0, line_end + 1));
+  const Result<Instance> r = LoadInstanceCsv(&truncated);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceIo, LoadRejectsDuplicateDistanceEntries) {
+  const Instance original =
+      MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  std::stringstream buffer;
+  SaveInstanceCsv(original, &buffer);
+  std::string text = buffer.str();
+  const size_t dist = text.find("[distances]\nfrom,to,km\n");
+  ASSERT_NE(dist, std::string::npos);
+  const size_t first_row = dist + std::string("[distances]\nfrom,to,km\n")
+                                      .size();
+  const size_t first_end = text.find('\n', first_row);
+  ASSERT_NE(first_end, std::string::npos);
+  const std::string row = text.substr(first_row, first_end + 1 - first_row);
+  text.insert(first_end + 1, row);  // Same (from,to) pair twice.
+  std::stringstream duplicated(text);
+  const Result<Instance> r = LoadInstanceCsv(&duplicated);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("duplicate"), std::string::npos)
+      << r.status();
+}
+
+TEST(InstanceIo, LoadRejectsMissingMetaSection) {
+  const Instance original =
+      MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});
+  std::stringstream buffer;
+  SaveInstanceCsv(original, &buffer);
+  std::string text = buffer.str();
+  const size_t nodes = text.find("[nodes]");
+  ASSERT_NE(nodes, std::string::npos);
+  std::stringstream headless(text.substr(nodes));
+  EXPECT_FALSE(LoadInstanceCsv(&headless).ok());
+}
+
+TEST(InstanceIo, LoadRejectsBinaryGarbage) {
+  std::string blob = "\x7f""ELF\x01\x02\x03";
+  blob.push_back('\0');
+  blob += "\xff\xfe more bytes \x00\x01";
+  std::stringstream garbage(blob);
+  EXPECT_FALSE(LoadInstanceCsv(&garbage).ok());
+}
+
 TEST(InstanceIo, LoadToleratesCommentsAndBlankLines) {
   const Instance original =
       MakeTestInstance({MakeOrder(0, 1, 2, 5.0, 10.0, 200.0)});

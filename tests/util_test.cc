@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
+#include "util/crc32.h"
 #include "util/result.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -201,6 +204,109 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
   EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
   EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+}
+
+// ----------------------------------------------------------------- Crc32 --
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32, SeedChainsIncrementalComputation) {
+  const char data[] = "hello, dpdp checkpoint";
+  const size_t n = sizeof(data) - 1;
+  const uint32_t whole = Crc32(data, n);
+  const uint32_t part = Crc32(data + 5, n - 5, Crc32(data, 5));
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(256, 'a');
+  const uint32_t before = Crc32(data.data(), data.size());
+  data[100] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+// ----------------------------------------------------------------- Retry --
+
+TEST(Retry, TransientFailureClassification) {
+  EXPECT_TRUE(IsTransientFailure(StatusCode::kInternal));
+  EXPECT_TRUE(IsTransientFailure(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsTransientFailure(StatusCode::kTimeout));
+  EXPECT_FALSE(IsTransientFailure(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransientFailure(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsTransientFailure(StatusCode::kOk));
+}
+
+RetryPolicy FastPolicy() {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.initial_backoff_ms = 1;
+  p.max_backoff_ms = 2;
+  return p;
+}
+
+TEST(Retry, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  int attempts = 0;
+  const Status s = RunWithRetry(
+      [&]() -> Status {
+        ++calls;
+        return calls < 3 ? Status::Timeout("flaky") : Status::OK();
+      },
+      FastPolicy(), &attempts);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(Retry, PermanentFailureReturnsImmediately) {
+  int calls = 0;
+  const Status s = RunWithRetry(
+      [&]() -> Status {
+        ++calls;
+        return Status::InvalidArgument("bad input");
+      },
+      FastPolicy());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);  // Not retried: retrying can't fix bad input.
+}
+
+TEST(Retry, GivesUpAfterMaxAttempts) {
+  int calls = 0;
+  const Status s = RunWithRetry(
+      [&]() -> Status {
+        ++calls;
+        return Status::Internal("always down");
+      },
+      FastPolicy());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, ExceptionBecomesTransientInternal) {
+  int calls = 0;
+  const Status s = RunWithRetry(
+      [&]() -> Status {
+        ++calls;
+        if (calls == 1) throw std::runtime_error("boom");
+        return Status::OK();
+      },
+      FastPolicy());
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 2);  // The throw counted as a transient attempt.
+}
+
+TEST(Retry, ExceptionMessageSurvivesInStatus) {
+  RetryPolicy once = FastPolicy();
+  once.max_attempts = 1;
+  const Status s = RunWithRetry(
+      []() -> Status { throw std::runtime_error("disk on fire"); }, once);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.ToString().find("disk on fire"), std::string::npos);
 }
 
 // ----------------------------------------------------------------- Table --
