@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "core/dpdp.h"
 
 namespace {
@@ -210,6 +214,115 @@ void BM_ParallelBatchUpdate(benchmark::State& state) {
 BENCHMARK(BM_ParallelBatchUpdate)->Arg(0)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------- observability ----
+
+// The acceptance bar for always-on instrumentation: with tracing off, a
+// DPDP_TRACE_SPAN must compile down to one relaxed atomic load + branch
+// (< 2 ns/op), so hot loops can stay instrumented unconditionally.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  dpdp::obs::SetTraceEnabled(false);
+  for (auto _ : state) {
+    DPDP_TRACE_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  dpdp::obs::SetTraceEnabled(true);
+  for (auto _ : state) {
+    DPDP_TRACE_SPAN("bench.enabled");
+    benchmark::ClobberMemory();
+  }
+  dpdp::obs::SetTraceEnabled(false);
+  dpdp::obs::DiscardTrace();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  dpdp::obs::Counter* counter =
+      dpdp::obs::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  dpdp::obs::Histogram* histogram =
+      dpdp::obs::MetricsRegistry::Global().GetHistogram(
+          "bench.histogram_s", dpdp::obs::LatencyBucketsSeconds());
+  double v = 1e-6;
+  for (auto _ : state) {
+    histogram->Record(v);
+    v = v < 1.0 ? v * 2.0 : 1e-6;  // Sweep the buckets, not one hot slot.
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// -------------------------------------------- machine-readable output ----
+
+// Captures every finished run so the bench binary can emit BENCH_3.json
+// (name -> ns/op, items/s) for CI trend tracking alongside the normal
+// console table.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.ns_per_op = run.real_accumulated_time / iters * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        row.items_per_second = static_cast<double>(it->second);
+      }
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    os << "{\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      os << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": "
+         << r.ns_per_op << ", \"items_per_second\": " << r.items_per_second
+         << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return static_cast<bool>(os);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string json_path = dpdp::EnvStr("DPDP_BENCH_JSON", "BENCH_3.json");
+  if (!reporter.WriteJson(json_path)) {
+    DPDP_LOG(ERROR) << "cannot write benchmark JSON to " << json_path;
+    return 1;
+  }
+  return 0;
+}

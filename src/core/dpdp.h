@@ -23,6 +23,7 @@
 ///   routing/ the insertion route planner (Algorithm 2)
 ///   stpred/  STD matrices, demand prediction, ST Score
 ///   datagen/ synthetic campus + order-stream generation
+///   obs/     metrics registry + Chrome-trace span tracer
 ///   sim/     the dispatching simulator (Algorithm 1)
 ///   baselines/ greedy dispatch heuristics (Baselines 1-3)
 ///   rl/      DQN/DDQN/AC/DGN/ST-DDGN agents (Algorithm 3)
@@ -42,6 +43,8 @@
 #include "model/vehicle.h"
 #include "net/road_network.h"
 #include "nn/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/actor_critic.h"
 #include "rl/config.h"
 #include "rl/dqn_agent.h"
@@ -55,6 +58,7 @@
 #include "stpred/st_score.h"
 #include "stpred/std_matrix.h"
 #include "util/env.h"
+#include "util/log.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace dpdp {
@@ -225,6 +227,7 @@ void BranchAndBoundSolver::Dfs(SearchState* s) {
 }
 
 ExactSolution BranchAndBoundSolver::Solve() {
+  DPDP_TRACE_SPAN("bnb.solve");
   SearchState s;
   s.unserved = (instance_->num_orders() >= 31)
                    ? 0xFFFFFFFFu
@@ -263,6 +266,12 @@ ExactSolution BranchAndBoundSolver::Solve() {
 
   out.nodes_explored = s.nodes;
   out.wall_seconds = s.timer.ElapsedSeconds();
+  static obs::Counter* nodes_expanded =
+      obs::MetricsRegistry::Global().GetCounter("bnb.nodes_expanded");
+  static obs::Counter* solves =
+      obs::MetricsRegistry::Global().GetCounter("bnb.solves");
+  nodes_expanded->Add(s.nodes);
+  solves->Add();
   if (s.best_cost < std::numeric_limits<double>::infinity()) {
     out.found = true;
     out.optimal = !s.aborted;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/trace.h"
 #include "rl/actor_critic.h"
 #include "rl/config.h"
 #include "rl/dqn_agent.h"
@@ -151,6 +152,7 @@ MethodSummary RunBaseline(const Instance& instance, Dispatcher* baseline,
   summary.nuv.push_back(result.nuv);
   summary.tc.push_back(result.total_cost);
   summary.wall.push_back(result.decision_wall_seconds);
+  summary.metrics.Absorb(result);
   return summary;
 }
 
@@ -170,10 +172,12 @@ MethodSummary RunDrlMethod(const Instance& instance,
   std::vector<double> nuv(num_seeds);
   std::vector<double> tc(num_seeds);
   std::vector<double> wall(num_seeds);
+  std::vector<MethodSummary::MetricsRollup> rollup(num_seeds);
   std::vector<uint8_t> ok(num_seeds, 0);
   std::vector<std::string> errors(num_seeds);
   if (pool == nullptr) pool = GlobalThreadPool();
   pool->ParallelFor(num_seeds, [&](int s) {
+    DPDP_TRACE_SPAN("exp.seed_run");
     // The retry wrapper absorbs exceptions (so one bad seed cannot abort
     // the whole sweep via ParallelFor's rethrow) and backs off between
     // transient failures.
@@ -185,6 +189,12 @@ MethodSummary RunDrlMethod(const Instance& instance,
           nuv[s] = outcome.eval.nuv;
           tc[s] = outcome.eval.total_cost;
           wall[s] = outcome.eval_decision_seconds;
+          // Re-rolled on retry (assignment, not +=) so a transient failure
+          // followed by success cannot double-count its episodes.
+          MethodSummary::MetricsRollup r;
+          for (const EpisodeResult& e : outcome.curve.episodes) r.Absorb(e);
+          r.Absorb(outcome.eval);
+          rollup[s] = r;
           return Status::OK();
         },
         retry_policy);
@@ -199,6 +209,7 @@ MethodSummary RunDrlMethod(const Instance& instance,
       summary.nuv.push_back(nuv[s]);
       summary.tc.push_back(tc[s]);
       summary.wall.push_back(wall[s]);
+      summary.metrics.Absorb(rollup[s]);
     } else {
       summary.seed_errors.push_back({s, errors[s]});
     }

@@ -67,10 +67,44 @@ struct MethodSummary {
     std::string message;
   };
 
+  /// Observability rollup across every episode that contributed to this
+  /// summary (training + evaluation, successful seeds only). Cross-checks
+  /// the global metrics registry: e.g. `decisions` here must equal the
+  /// delta of the `sim.decisions` counter over the sweep.
+  struct MetricsRollup {
+    int64_t episodes = 0;
+    int64_t decisions = 0;
+    int64_t degraded_decisions = 0;
+    int64_t breakdowns = 0;
+    int64_t cancellations = 0;
+    int64_t replanned = 0;
+    double decision_seconds = 0.0;
+
+    void Absorb(const EpisodeResult& r) {
+      ++episodes;
+      decisions += r.num_decisions;
+      degraded_decisions += r.num_degraded_decisions;
+      breakdowns += r.num_breakdowns;
+      cancellations += r.num_cancelled;
+      replanned += r.num_replanned;
+      decision_seconds += r.decision_wall_seconds;
+    }
+    void Absorb(const MetricsRollup& other) {
+      episodes += other.episodes;
+      decisions += other.decisions;
+      degraded_decisions += other.degraded_decisions;
+      breakdowns += other.breakdowns;
+      cancellations += other.cancellations;
+      replanned += other.replanned;
+      decision_seconds += other.decision_seconds;
+    }
+  };
+
   std::string method;
   std::vector<double> nuv;
   std::vector<double> tc;
   std::vector<double> wall;  ///< Decision/inference seconds per run.
+  MetricsRollup metrics;     ///< Aggregated episode telemetry.
   /// Seeds excluded from the statistics (RunDrlMethod retry gave up);
   /// empty on a fully healthy sweep.
   std::vector<SeedError> seed_errors;

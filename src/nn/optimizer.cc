@@ -5,6 +5,9 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dpdp::nn {
 
 Optimizer::Optimizer(std::vector<Parameter*> params)
@@ -57,6 +60,10 @@ Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
 }
 
 void Adam::Step() {
+  DPDP_TRACE_SPAN("nn.adam_step");
+  static obs::Counter* steps =
+      obs::MetricsRegistry::Global().GetCounter("nn.adam_steps");
+  steps->Add();
   ClipGradNorm(clip_norm_);
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));

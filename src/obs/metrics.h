@@ -1,0 +1,166 @@
+#ifndef DPDP_OBS_METRICS_H_
+#define DPDP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpdp::obs {
+
+/// Number of cache-line-padded shards per metric. Increments hash the
+/// calling thread onto a shard, so ThreadPool workers hammering the same
+/// counter never contend on one atomic; reads sum the shards.
+inline constexpr int kMetricShards = 16;
+
+namespace internal {
+
+/// One cache line per shard so concurrent writers never false-share.
+struct alignas(64) CounterShard {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Relaxed add for atomic<double> (histogram sums): CAS loop instead of
+/// C++20 fetch_add to stay portable across libstdc++ versions.
+void AtomicAddDouble(std::atomic<double>* target, double delta);
+
+/// Small dense per-thread index used to pick a shard. Stable for the
+/// thread's lifetime; different threads may share a shard (correctness
+/// never depends on exclusivity, only contention does).
+int ThreadShard();
+
+}  // namespace internal
+
+/// Monotonically increasing event count. Thread-safe; Add is wait-free
+/// (one relaxed fetch_add on the caller's shard).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t n = 1) {
+    shards_[internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  internal::CounterShard shards_[kMetricShards];
+};
+
+/// Last-write-wins instantaneous value (replay size, epsilon, ...).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) { internal::AtomicAddDouble(&value_, v); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bounds[i]; one
+/// overflow bucket catches the rest. Records are sharded like Counter, so
+/// concurrent Record calls from pool workers do not contend.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void Record(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  /// Per-bucket totals, size bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    explicit Shard(size_t n) : buckets(n) {}
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Exponential latency bucket bounds in seconds: 1us, 2us, 5us, 10us, ...
+/// up to 10s (decade steps 1-2-5). Shared default for decision/batch/span
+/// latency histograms so exported snapshots line up.
+const std::vector<double>& LatencyBucketsSeconds();
+
+/// One exported metric in a point-in-time snapshot.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;              ///< Counter total or gauge value.
+  uint64_t count = 0;              ///< Histogram sample count.
+  double sum = 0.0;                ///< Histogram sample sum.
+  std::vector<double> bounds;      ///< Histogram upper bounds.
+  std::vector<uint64_t> buckets;   ///< bounds.size() + 1 entries.
+};
+
+/// Thread-safe name -> metric registry. Lookup takes a mutex (do it once,
+/// cache the pointer in a static); the returned pointers are stable for
+/// the registry's lifetime and their update paths are lock-free.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used on first creation; later lookups of the same name
+  /// return the existing histogram (bounds must match — checked).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// Point-in-time values of every registered metric, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Serializes a snapshot. CSV columns: name,kind,value,count,sum,buckets
+/// (buckets as "le<bound>:<count>" pairs joined by ';'). JSON is a single
+/// object keyed by metric name.
+std::string SnapshotToCsv(const std::vector<MetricSnapshot>& snapshot);
+std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot);
+
+/// Writes metrics_snapshot.csv + metrics_snapshot.json for the global
+/// registry under `dir` (created if missing). Empty `dir` falls back to
+/// DPDP_METRICS_DIR; if that is unset too, does nothing and returns OK.
+Status WriteMetricsFiles(const std::string& dir = "");
+
+}  // namespace dpdp::obs
+
+#endif  // DPDP_OBS_METRICS_H_

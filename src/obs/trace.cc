@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "util/env.h"
+
+namespace dpdp::obs {
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  int64_t start_ns;
+  int64_t end_ns;
+  int tid;
+};
+
+/// Per-thread span buffer. The owning thread appends under the buffer's
+/// own (uncontended) mutex; the writer thread locks the same mutex to
+/// drain, so flushing while other threads keep tracing is safe. On thread
+/// exit the remaining events retire into the global list.
+struct ThreadBuffer;
+
+struct TraceState {
+  std::mutex mu;                       ///< Guards buffers + retired.
+  std::vector<ThreadBuffer*> buffers;  ///< Live per-thread buffers.
+  std::vector<TraceEvent> retired;     ///< Events from exited threads.
+  std::atomic<int> next_tid{0};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState;  // Leaked: see registry note.
+  return *state;
+}
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int tid;
+
+  ThreadBuffer() {
+    TraceState& state = State();
+    tid = state.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.push_back(this);
+  }
+
+  ~ThreadBuffer() {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.erase(
+        std::remove(state.buffers.begin(), state.buffers.end(), this),
+        state.buffers.end());
+    std::lock_guard<std::mutex> self(mu);
+    state.retired.insert(state.retired.end(), events.begin(), events.end());
+  }
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+/// Collects (and consumes) every buffered event, sorted by start time.
+std::vector<TraceEvent> DrainAll() {
+  TraceState& state = State();
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(state.mu);
+  all.swap(state.retired);
+  for (ThreadBuffer* buffer : state.buffers) {
+    std::lock_guard<std::mutex> self(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    buffer->events.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return all;
+}
+
+void WriteTraceAtExit() {
+  if (TraceEnabled()) (void)WriteTraceFile();
+}
+
+bool InitTraceEnabled() {
+  const bool enabled = EnvInt("DPDP_TRACE", 0) != 0;
+  // Bench/example binaries get a trace file without any explicit flush
+  // call; explicit WriteTraceFile calls earlier just leave an empty tail.
+  if (enabled) std::atexit(WriteTraceAtExit);
+  return enabled;
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{InitTraceEnabled()};
+
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back({name, start_ns, end_ns, buffer.tid});
+}
+
+}  // namespace internal
+
+void SetTraceEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t BufferedSpanCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  size_t n = state.retired.size();
+  for (ThreadBuffer* buffer : state.buffers) {
+    std::lock_guard<std::mutex> self(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+void DiscardTrace() { DrainAll(); }
+
+Status WriteTraceFile(const std::string& path) {
+  std::string target = path;
+  if (target.empty()) target = EnvStr("DPDP_TRACE_FILE", "");
+  if (target.empty()) {
+    const std::string dir = EnvStr("DPDP_METRICS_DIR", "");
+    target = dir.empty() ? "dpdp_trace.json" : dir + "/trace.json";
+  }
+  const std::filesystem::path file(target);
+  if (file.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(file.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create trace dir: " + ec.message());
+    }
+  }
+  const std::vector<TraceEvent> events = DrainAll();
+  std::ofstream os(target, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::Internal("cannot open trace file " + target);
+  // Chrome trace-event format: complete ("ph":"X") events, microsecond
+  // timestamps relative to the earliest span so traces start near t=0.
+  const int64_t origin_ns = events.empty() ? 0 : events.front().start_ns;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) os << ",";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"pid\": 1, \"tid\": %d",
+                  static_cast<double>(e.start_ns - origin_ns) / 1e3,
+                  static_cast<double>(e.end_ns - e.start_ns) / 1e3, e.tid);
+    os << "\n{\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \"dpdp\", "
+       << buf << "}";
+  }
+  os << "\n]}\n";
+  if (!os) return Status::Internal("short write to trace file " + target);
+  return Status::OK();
+}
+
+}  // namespace dpdp::obs

@@ -1,0 +1,80 @@
+#ifndef DPDP_OBS_TRACE_H_
+#define DPDP_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace dpdp::obs {
+
+namespace internal {
+/// Global on/off switch, initialized from DPDP_TRACE. Extern so the
+/// TraceSpan constructor inlines to a single relaxed load + branch when
+/// tracing is disabled (< 2 ns, see bench/micro_components.cc).
+extern std::atomic<bool> g_trace_enabled;
+
+/// Appends one complete span to the calling thread's buffer.
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns);
+}  // namespace internal
+
+/// True when span recording is active.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override of the DPDP_TRACE switch (tests, demos).
+void SetTraceEnabled(bool enabled);
+
+/// RAII span: records [construction, destruction) of the enclosing scope
+/// into the calling thread's buffer under `name`. `name` must outlive the
+/// span (string literals). When tracing is disabled the whole object is
+/// one branch on a relaxed atomic.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_ns_ = MonotonicNanos();
+    }
+  }
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal::RecordSpan(name_, start_ns_, MonotonicNanos());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+/// Number of spans currently buffered across all threads (tests).
+size_t BufferedSpanCount();
+
+/// Drains every thread's span buffer into a Chrome trace-event JSON file
+/// ("traceEvents" array of "ph":"X" complete events, timestamps in
+/// microseconds) loadable in Perfetto / chrome://tracing. Empty `path`
+/// falls back to DPDP_TRACE_FILE, then <DPDP_METRICS_DIR>/trace.json,
+/// then ./dpdp_trace.json. Buffered spans are consumed by the write.
+Status WriteTraceFile(const std::string& path = "");
+
+/// Discards all buffered spans without writing (tests).
+void DiscardTrace();
+
+}  // namespace dpdp::obs
+
+/// Names a traced scope:  DPDP_TRACE_SPAN("sim.decision");
+#define DPDP_TRACE_SPAN(name)                            \
+  ::dpdp::obs::TraceSpan DPDP_TRACE_CONCAT_(dpdp_trace_span_, \
+                                            __LINE__)(name)
+#define DPDP_TRACE_CONCAT_(a, b) DPDP_TRACE_CONCAT2_(a, b)
+#define DPDP_TRACE_CONCAT2_(a, b) a##b
+
+#endif  // DPDP_OBS_TRACE_H_

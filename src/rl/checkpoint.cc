@@ -10,10 +10,30 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
+#include "util/timer.h"
 
 namespace dpdp {
 namespace {
+
+struct CkptMetrics {
+  obs::Counter* saves =
+      obs::MetricsRegistry::Global().GetCounter("ckpt.saves");
+  obs::Counter* loads =
+      obs::MetricsRegistry::Global().GetCounter("ckpt.loads");
+  obs::Counter* bytes_written =
+      obs::MetricsRegistry::Global().GetCounter("ckpt.bytes_written");
+  obs::Histogram* save_latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "ckpt.save_latency_s", obs::LatencyBucketsSeconds());
+};
+
+CkptMetrics& Metrics() {
+  static CkptMetrics* metrics = new CkptMetrics;
+  return *metrics;
+}
 
 constexpr char kMagic[8] = {'D', 'P', 'D', 'P', 'C', 'K', 'P', '1'};
 
@@ -26,6 +46,8 @@ void AppendPod(std::string* out, const T& value) {
 
 Status SaveCheckpoint(const std::string& path, int episodes_done,
                       const LearningDispatcher& agent) {
+  DPDP_TRACE_SPAN("ckpt.save");
+  WallTimer timer;
   if (episodes_done < 0) {
     return Status::InvalidArgument("episodes_done must be >= 0");
   }
@@ -73,12 +95,18 @@ Status SaveCheckpoint(const std::string& path, int episodes_done,
     std::remove(tmp.c_str());
     return Status::Internal("cannot rename " + tmp + " to " + path);
   }
+  CkptMetrics& metrics = Metrics();
+  metrics.saves->Add();
+  metrics.bytes_written->Add(sizeof(kMagic) + body.size() + sizeof(crc));
+  metrics.save_latency->Record(timer.ElapsedSeconds());
   return Status::OK();
 }
 
 Result<int> LoadCheckpoint(const std::string& path,
                            LearningDispatcher* agent) {
+  DPDP_TRACE_SPAN("ckpt.load");
   DPDP_CHECK(agent != nullptr);
+  Metrics().loads->Add();
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::NotFound("checkpoint not found: " + path);
   std::string contents((std::istreambuf_iterator<char>(is)),

@@ -9,9 +9,34 @@
 #include <utility>
 
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace dpdp {
+
+namespace {
+
+/// Shared across all agents; see SimMetrics for the caching rationale.
+struct RlMetrics {
+  obs::Counter* train_batches =
+      obs::MetricsRegistry::Global().GetCounter("rl.train_batches");
+  obs::Counter* transitions =
+      obs::MetricsRegistry::Global().GetCounter("rl.transitions_added");
+  obs::Histogram* batch_latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "rl.train_batch_latency_s", obs::LatencyBucketsSeconds());
+  obs::Gauge* replay_size =
+      obs::MetricsRegistry::Global().GetGauge("rl.replay_size");
+};
+
+RlMetrics& Metrics() {
+  static RlMetrics* metrics = new RlMetrics;
+  return *metrics;
+}
+
+}  // namespace
 
 /// Worker-local clones for the parallel minibatch path. `synced_generation`
 /// tracks the last batch whose master weights were copied in, so a clone
@@ -67,6 +92,7 @@ std::vector<int> DqnFleetAgent::InferenceIndices(
 std::vector<double> DqnFleetAgent::SubFleetQ(const FleetState& state,
                                              FleetQNetwork* net,
                                              const std::vector<int>& idx) const {
+  DPDP_TRACE_SPAN("rl.q_forward");
   const SubFleetInputs in = BuildSubFleetInputs(
       state, idx, config_.use_graph, config_.num_neighbors);
   return net->Forward(in.features, in.adjacency);
@@ -102,6 +128,11 @@ int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
     }
     DPDP_CHECK(best >= 0);
     action = best;
+    if (training_) {
+      q_sum_ += best_q;
+      q_max_ = q_count_ == 0 ? best_q : std::max(q_max_, best_q);
+      ++q_count_;
+    }
   }
 
   if (training_) {
@@ -165,6 +196,7 @@ void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
     t.next_state = std::move(s.next_state);
     replay_.Add(std::move(t));
   }
+  Metrics().transitions->Add(episode_.size());
   episode_.clear();
 
   if (replay_.size() >= config_.batch_size) {
@@ -186,6 +218,24 @@ void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
   if (episodes_trained_ % config_.target_sync_episodes == 0) {
     nn::CopyParameters(online_->Params(), target_->Params());
   }
+
+  // Fold the episode's greedy-Q accumulators into the Stats() snapshot.
+  last_mean_q_ = q_count_ > 0 ? q_sum_ / static_cast<double>(q_count_) : 0.0;
+  last_max_q_ = q_count_ > 0 ? q_max_ : 0.0;
+  q_sum_ = 0.0;
+  q_max_ = 0.0;
+  q_count_ = 0;
+  Metrics().replay_size->Set(static_cast<double>(replay_.size()));
+}
+
+TrainingStats DqnFleetAgent::Stats() const {
+  TrainingStats stats;
+  stats.loss = last_loss_;
+  stats.epsilon = epsilon_;
+  stats.mean_q = last_mean_q_;
+  stats.max_q = last_max_q_;
+  stats.replay_size = replay_.size();
+  return stats;
 }
 
 double DqnFleetAgent::TdTarget(const Transition& t, FleetQNetwork* online_net,
@@ -237,18 +287,29 @@ double DqnFleetAgent::AccumulateTransitionGradient(const Transition& t,
   const std::vector<double> q = SubFleetQ(state, online_net, idx);
   std::vector<double> dq(q.size(), 0.0);
   dq[sub_action] = nn::HuberLossGrad(q[sub_action], y) * inv_batch;
-  online_net->Backward(dq);
+  {
+    DPDP_TRACE_SPAN("rl.q_backward");
+    online_net->Backward(dq);
+  }
   return nn::HuberLoss(q[sub_action], y);
 }
 
 void DqnFleetAgent::TrainBatch() {
+  DPDP_TRACE_SPAN("rl.train_batch");
+  WallTimer timer;
+  RlMetrics& metrics = Metrics();
+  metrics.train_batches->Add();
   // The sample always comes from the agent's own rng_, so the replay draw
   // sequence is identical whether the update itself runs serially or in
   // parallel.
-  const std::vector<const Transition*> batch =
-      replay_.Sample(config_.batch_size, &rng_);
+  std::vector<const Transition*> batch;
+  {
+    DPDP_TRACE_SPAN("rl.replay_sample");
+    batch = replay_.Sample(config_.batch_size, &rng_);
+  }
   if (config_.parallel_batch) {
     TrainBatchParallel(batch);
+    metrics.batch_latency->Record(timer.ElapsedSeconds());
     return;
   }
 
@@ -261,6 +322,7 @@ void DqnFleetAgent::TrainBatch() {
   }
   optimizer_->Step();
   last_loss_ = loss_sum * inv_batch;
+  metrics.batch_latency->Record(timer.ElapsedSeconds());
 }
 
 std::unique_ptr<DqnFleetAgent::WorkerNets> DqnFleetAgent::AcquireWorkerNets() {
@@ -461,6 +523,12 @@ Status DqnFleetAgent::LoadState(std::istream* is) {
   pending_ = Pending{};
   decision_recorded_ = false;
   episode_.clear();
+  // Telemetry accumulators restart from zero (not checkpointed).
+  q_sum_ = 0.0;
+  q_max_ = 0.0;
+  q_count_ = 0;
+  last_mean_q_ = 0.0;
+  last_max_q_ = 0.0;
   // Cached worker clones hold pre-restore weights; force a resync.
   ++batch_generation_;
   return Status::OK();

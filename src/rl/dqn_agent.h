@@ -49,7 +49,13 @@ class DqnFleetAgent : public LearningDispatcher {
   double epsilon() const { return epsilon_; }
   int episodes_trained() const { return episodes_trained_; }
   double last_loss() const { return last_loss_; }
+  int replay_size() const { return replay_.size(); }
   const AgentConfig& config() const { return config_; }
+
+  /// Loss, epsilon, mean/max greedy Q of the last training episode and
+  /// the replay fill level — the metrics.csv row source. Telemetry only:
+  /// not part of the checkpointed state.
+  TrainingStats Stats() const override;
 
   /// Greedy Q-values for a context (diagnostics; -inf for infeasible).
   std::vector<double> QValues(const DispatchContext& context);
@@ -134,6 +140,15 @@ class DqnFleetAgent : public LearningDispatcher {
   std::vector<EpisodeStep> episode_;
   double best_episode_cost_ = 0.0;
   std::vector<nn::Matrix> best_weights_;  ///< Empty until first snapshot.
+
+  // Greedy-Q telemetry of the in-flight training episode (pure
+  // observation; excluded from SaveState by design). q_* accumulate per
+  // greedy decision and fold into last_* at episode end.
+  double q_sum_ = 0.0;
+  double q_max_ = 0.0;
+  int q_count_ = 0;
+  double last_mean_q_ = 0.0;
+  double last_max_q_ = 0.0;
 
   // Parallel-batch worker state (used only when config_.parallel_batch).
   std::mutex worker_nets_mu_;

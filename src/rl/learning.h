@@ -8,12 +8,26 @@
 
 namespace dpdp {
 
+/// Per-episode training telemetry surfaced to the trainer's metrics.csv
+/// time series (obs layer). Agents that don't track a field leave it 0.
+struct TrainingStats {
+  double loss = 0.0;      ///< Loss of the last minibatch update.
+  double epsilon = 0.0;   ///< Exploration rate after the episode.
+  double mean_q = 0.0;    ///< Mean greedy Q over the episode's decisions.
+  double max_q = 0.0;     ///< Max greedy Q over the episode's decisions.
+  int replay_size = 0;    ///< Transitions currently in the replay buffer.
+};
+
 /// A dispatcher that learns: exposes a train/eval mode switch so the
 /// experiment harness can train a policy and then evaluate it greedily.
 class LearningDispatcher : public Dispatcher {
  public:
   virtual void set_training(bool training) = 0;
   virtual bool training() const = 0;
+
+  /// Telemetry of the most recently finished training episode. Pure
+  /// observation — reading it never changes agent state. Default: zeros.
+  virtual TrainingStats Stats() const { return TrainingStats{}; }
 
   /// Called once after the training loop, before greedy evaluation
   /// (e.g. to restore best-episode weights). Default: no-op.

@@ -1,11 +1,14 @@
 #include "rl/trainer.h"
 
-#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
+#include "obs/trace.h"
 #include "rl/checkpoint.h"
 #include "rl/learning.h"
 #include "stpred/std_matrix.h"
 #include "util/env.h"
+#include "util/log.h"
 
 namespace dpdp {
 
@@ -15,6 +18,57 @@ std::string TrainOptions::checkpoint_path(
   if (dir.empty()) dir = EnvStr("DPDP_CHECKPOINT_DIR", ".");
   return dir + "/" + agent_name + ".ckpt";
 }
+
+std::string TrainOptions::resolved_metrics_path() const {
+  if (!metrics_path.empty()) return metrics_path;
+  const std::string dir = EnvStr("DPDP_METRICS_DIR", "");
+  return dir.empty() ? std::string() : dir + "/metrics.csv";
+}
+
+namespace {
+
+/// Appends one row per finished episode to the metrics.csv time series
+/// (the recorded data behind Fig. 8-style convergence plots). Opening or
+/// writing failures log a warning and disable the writer — telemetry must
+/// never sink a training run.
+class EpisodeMetricsWriter {
+ public:
+  explicit EpisodeMetricsWriter(const std::string& path) {
+    if (path.empty()) return;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(target.parent_path(), ec);
+    }
+    os_.open(path, std::ios::trunc);
+    if (!os_) {
+      DPDP_LOG(WARN) << "cannot open metrics file " << path
+                     << "; episode metrics disabled";
+      return;
+    }
+    os_ << "episode,nuv,total_cost,total_travel_length,loss,epsilon,"
+           "mean_q,max_q,replay_size,num_decisions,decision_seconds,"
+           "degraded,breakdowns,cancelled,replanned,unserved\n";
+  }
+
+  void WriteRow(int episode, const EpisodeResult& r,
+                const TrainingStats& stats) {
+    if (!os_.is_open() || !os_) return;
+    os_ << episode << ',' << r.nuv << ',' << r.total_cost << ','
+        << r.total_travel_length << ',' << stats.loss << ','
+        << stats.epsilon << ',' << stats.mean_q << ',' << stats.max_q << ','
+        << stats.replay_size << ',' << r.num_decisions << ','
+        << r.decision_wall_seconds << ',' << r.num_degraded_decisions << ','
+        << r.num_breakdowns << ',' << r.num_cancelled << ','
+        << r.num_replanned << ',' << r.num_unserved << '\n';
+    os_.flush();  // Row-granular durability: a crash keeps finished rows.
+  }
+
+ private:
+  std::ofstream os_;
+};
+
+}  // namespace
 
 double TrainingCurve::TailMean(const std::vector<double>& series,
                                int window) {
@@ -41,9 +95,8 @@ TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
     DPDP_CHECK(learner != nullptr);
     Result<int> resumed = LoadCheckpoint(options.resume_from, learner);
     if (!resumed.ok()) {
-      std::fprintf(stderr, "FATAL: cannot resume from %s: %s\n",
-                   options.resume_from.c_str(),
-                   resumed.status().ToString().c_str());
+      DPDP_LOG(ERROR) << "cannot resume from " << options.resume_from << ": "
+                      << resumed.status().ToString();
       DPDP_CHECK(resumed.ok());
     }
     start_episode = resumed.value();
@@ -57,8 +110,10 @@ TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
   const std::string ckpt_path =
       checkpointing ? options.checkpoint_path(curve.agent_name)
                     : std::string();
+  EpisodeMetricsWriter metrics_writer(options.resolved_metrics_path());
 
   for (int e = start_episode; e < options.episodes; ++e) {
+    DPDP_TRACE_SPAN("rl.train_episode");
     const EpisodeResult result = simulator->RunEpisode(dispatcher);
     curve.nuv.push_back(result.nuv);
     curve.total_cost.push_back(result.total_cost);
@@ -67,6 +122,9 @@ TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
           options.demand_for_diff, simulator->LastCapacityDistribution()));
     }
     curve.episodes.push_back(result);
+    metrics_writer.WriteRow(e, result,
+                            learner != nullptr ? learner->Stats()
+                                               : TrainingStats{});
     if (options.on_episode) options.on_episode(e, result);
     if (checkpointing && ((e + 1 - start_episode) % options.checkpoint_every ==
                               0 ||
@@ -75,8 +133,7 @@ TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
       if (!saved.ok()) {
         // A failed periodic save must not kill training — warn and go on;
         // the next interval retries.
-        std::fprintf(stderr, "WARNING: checkpoint save failed: %s\n",
-                     saved.ToString().c_str());
+        DPDP_LOG(WARN) << "checkpoint save failed: " << saved.ToString();
       }
     }
   }

@@ -48,8 +48,20 @@ struct TrainOptions {
   /// scratch.
   std::string resume_from;
 
+  /// Observability: when non-empty (or when DPDP_METRICS_DIR is set, which
+  /// yields <dir>/metrics.csv), each finished episode appends one row of
+  /// training telemetry — NUV/TC, loss, epsilon, mean/max greedy Q, replay
+  /// size, decision count/latency and degradation counters — so
+  /// convergence plots come from recorded data instead of ad-hoc prints.
+  /// The file is truncated per RunEpisodes call; telemetry failures log a
+  /// warning and never abort training.
+  std::string metrics_path;
+
   /// Where checkpoints land: <dir>/<agent name>.ckpt.
   std::string checkpoint_path(const std::string& agent_name) const;
+  /// metrics_path, falling back to $DPDP_METRICS_DIR/metrics.csv; empty
+  /// string disables the per-episode metrics time series.
+  std::string resolved_metrics_path() const;
 };
 
 /// Runs `options.episodes` episodes of `simulator` under `dispatcher`

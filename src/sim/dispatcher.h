@@ -77,6 +77,11 @@ struct EpisodeResult {
   double total_travel_length = 0.0;  ///< TTL in km.
   double total_cost = 0.0;           ///< TC = mu * NUV + delta * TTL.
   double decision_wall_seconds = 0.0;  ///< Time spent inside ChooseVehicle.
+  /// Number of ChooseVehicle calls this episode (orders with at least one
+  /// feasible option). The simulator records one sample in the global
+  /// "sim.decision_latency_s" histogram per decision, so the histogram
+  /// count reconciles exactly against summed num_decisions.
+  int num_decisions = 0;
   double sum_incremental_length = 0.0;
   /// Mean simulated minutes between an order's creation and its dispatch
   /// decision. 0 under the paper's immediate-service strategy; ~W/2 under

@@ -5,12 +5,48 @@
 #include <limits>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/local_search.h"
 #include "stpred/st_score.h"
 #include "stpred/std_matrix.h"
 #include "util/timer.h"
 
 namespace dpdp {
+
+namespace {
+
+/// Registry handles are resolved once (lookup takes a mutex) and shared by
+/// every Simulator; the update paths are lock-free. Recording is pure
+/// telemetry: it never feeds back into dispatch, so goldens are unchanged.
+struct SimMetrics {
+  obs::Histogram* decision_latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "sim.decision_latency_s", obs::LatencyBucketsSeconds());
+  obs::Counter* decisions =
+      obs::MetricsRegistry::Global().GetCounter("sim.decisions");
+  obs::Counter* degraded =
+      obs::MetricsRegistry::Global().GetCounter("sim.degraded_decisions");
+  obs::Counter* episodes =
+      obs::MetricsRegistry::Global().GetCounter("sim.episodes");
+  obs::Counter* orders_served =
+      obs::MetricsRegistry::Global().GetCounter("sim.orders_served");
+  obs::Counter* orders_unserved =
+      obs::MetricsRegistry::Global().GetCounter("sim.orders_unserved");
+  obs::Counter* breakdowns =
+      obs::MetricsRegistry::Global().GetCounter("sim.breakdowns");
+  obs::Counter* cancellations =
+      obs::MetricsRegistry::Global().GetCounter("sim.cancellations");
+  obs::Counter* replanned =
+      obs::MetricsRegistry::Global().GetCounter("sim.orders_replanned");
+};
+
+SimMetrics& Metrics() {
+  static SimMetrics* metrics = new SimMetrics;
+  return *metrics;
+}
+
+}  // namespace
 
 Simulator::Simulator(const Instance* instance, SimulatorConfig config)
     : instance_(instance),
@@ -28,6 +64,7 @@ Simulator::Simulator(const Instance* instance, SimulatorConfig config)
 
 DispatchContext Simulator::BuildContext(const Order& order,
                                         double decision_time) {
+  DPDP_TRACE_SPAN("sim.build_context");
   DispatchContext ctx;
   ctx.instance = instance_;
   ctx.order = &order;
@@ -84,6 +121,7 @@ DispatchContext Simulator::BuildContext(const Order& order,
 }
 
 EpisodeResult Simulator::RunEpisode(Dispatcher* dispatcher) {
+  DPDP_TRACE_SPAN("sim.episode");
   DPDP_CHECK(dispatcher != nullptr);
 
   // Fresh fleet each episode.
@@ -140,9 +178,16 @@ EpisodeResult Simulator::RunEpisode(Dispatcher* dispatcher) {
       continue;
     }
     WallTimer timer;
-    int chosen = dispatcher->ChooseVehicle(ctx);
+    int chosen;
+    {
+      DPDP_TRACE_SPAN("sim.choose_vehicle");
+      chosen = dispatcher->ChooseVehicle(ctx);
+    }
     const double elapsed = timer.ElapsedSeconds();
     result.decision_wall_seconds += elapsed;
+    ++result.num_decisions;
+    Metrics().decisions->Add();
+    Metrics().decision_latency->Record(elapsed);
     const bool invalid_choice =
         chosen < 0 || chosen >= static_cast<int>(ctx.options.size()) ||
         !ctx.options[chosen].feasible;
@@ -154,6 +199,7 @@ EpisodeResult Simulator::RunEpisode(Dispatcher* dispatcher) {
       // episode — Baseline 1 dispatches this order instead.
       chosen = GreedyFallback(ctx);
       ++result.num_degraded_decisions;
+      Metrics().degraded->Add();
     }
 
     std::vector<Stop> new_suffix = ctx.options[chosen].insertion.suffix;
@@ -194,6 +240,13 @@ EpisodeResult Simulator::RunEpisode(Dispatcher* dispatcher) {
           ? response_sum / static_cast<double>(result.num_orders)
           : 0.0;
   ++episodes_run_;
+  SimMetrics& metrics = Metrics();
+  metrics.episodes->Add();
+  metrics.orders_served->Add(static_cast<uint64_t>(result.num_served));
+  metrics.orders_unserved->Add(static_cast<uint64_t>(result.num_unserved));
+  metrics.breakdowns->Add(static_cast<uint64_t>(result.num_breakdowns));
+  metrics.cancellations->Add(static_cast<uint64_t>(result.num_cancelled));
+  metrics.replanned->Add(static_cast<uint64_t>(result.num_replanned));
   dispatcher->OnEpisodeEnd(result);
   return result;
 }

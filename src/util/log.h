@@ -1,0 +1,88 @@
+#ifndef DPDP_UTIL_LOG_H_
+#define DPDP_UTIL_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dpdp {
+
+/// Severity levels of the process-wide leveled logger. The active level is
+/// read once from DPDP_LOG_LEVEL ("debug", "info", "warn", "error", "off"
+/// or the corresponding integer 0-4; default "info") and can be overridden
+/// programmatically with SetLogLevel.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Current threshold: messages below it are dropped before formatting.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// True when a message at `level` would be emitted.
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
+
+/// Where emitted messages go. The default sink writes
+/// "[LEVEL] file:line: message" lines to stderr under a mutex. Tests can
+/// install a capturing sink; passing nullptr restores the default.
+using LogSink = std::function<void(LogLevel level, const char* file, int line,
+                                   const std::string& message)>;
+void SetLogSink(LogSink sink);
+
+namespace internal {
+
+/// Severity aliases targeted by the DPDP_LOG token paste
+/// (DPDP_LOG(WARN) -> kLogWARN).
+inline constexpr LogLevel kLogDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogWARN = LogLevel::kWarn;
+inline constexpr LogLevel kLogERROR = LogLevel::kError;
+
+/// One in-flight log statement: collects the streamed message and hands it
+/// to the sink on destruction. Level filtering happens in the DPDP_LOG
+/// macro, before this object (and any formatting) exists.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Unconditional emit used by DPDP_CHECK failures: bypasses the level
+/// threshold (a check failure must never be silenced) but still honours a
+/// test-installed sink.
+void RawLog(LogLevel level, const char* file, int line,
+            const std::string& message);
+
+}  // namespace internal
+}  // namespace dpdp
+
+/// Stream-style leveled logging:
+///   DPDP_LOG(WARN) << "checkpoint save failed: " << status.ToString();
+/// The for-statement makes the macro a single statement (safe in braceless
+/// if/else) and skips message formatting entirely when the level is off.
+#define DPDP_LOG(severity)                                                 \
+  for (bool dpdp_log_emit =                                                \
+           ::dpdp::LogEnabled(::dpdp::internal::kLog##severity);           \
+       dpdp_log_emit; dpdp_log_emit = false)                               \
+  ::dpdp::internal::LogMessage(::dpdp::internal::kLog##severity, __FILE__, \
+                               __LINE__)                                   \
+      .stream()
+
+#endif  // DPDP_UTIL_LOG_H_

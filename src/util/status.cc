@@ -1,6 +1,8 @@
 #include "util/status.h"
 
-#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.h"
 
 namespace dpdp {
 
@@ -42,8 +44,11 @@ namespace internal {
 
 void CheckFailed(const char* file, int line, const char* expr,
                  const std::string& extra) {
-  std::fprintf(stderr, "DPDP_CHECK failed at %s:%d: %s%s%s\n", file, line,
-               expr, extra.empty() ? "" : " — ", extra.c_str());
+  // RawLog bypasses the DPDP_LOG_LEVEL threshold: a check failure is about
+  // to abort the process and must never be filtered out.
+  RawLog(LogLevel::kError, file, line,
+         std::string("DPDP_CHECK failed: ") + expr +
+             (extra.empty() ? "" : " — " + extra));
   std::abort();
 }
 

@@ -1,7 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <iomanip>
 #include <sstream>
 
 #include "util/status.h"
@@ -19,9 +19,9 @@ void TextTable::AddRow(std::vector<std::string> row) {
 }
 
 std::string TextTable::Num(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
 }
 
 std::string TextTable::ToString() const {

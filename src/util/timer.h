@@ -2,10 +2,23 @@
 #define DPDP_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace dpdp {
 
+/// Nanoseconds on the steady (monotonic) clock since an arbitrary fixed
+/// origin. This is the timestamp source for the tracer's spans and the
+/// metrics latency histograms: unlike the system clock it never jumps
+/// backwards across NTP adjustments, so span durations cannot go negative.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Monotonic wall-clock stopwatch used for the paper's wall-time columns.
+/// Backed by the same steady clock as MonotonicNanos(), so elapsed times
+/// are immune to system-clock adjustments too.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}
@@ -17,6 +30,12 @@ class WallTimer {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;
