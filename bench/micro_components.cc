@@ -6,13 +6,55 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "core/dpdp.h"
+#include "nn/gemm.h"
+
+// ---------------------------------------------- allocation accounting ----
+
+// Counts every global operator new so benchmarks can report
+// allocs_per_op and the steady-state forward path can prove it performs
+// zero heap allocations (the workspace-reuse acceptance bar).
+//
+// GCC pairs the replaced operator new with the free() inside the replaced
+// delete after inlining and flags it as mismatched; the pair is in fact
+// consistent (malloc/free), so the diagnostic is a false positive here.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<long long> g_alloc_count{0};
+long long AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
+
+// Reports heap allocations per benchmark iteration measured across the
+// timed loop (callers warm caches before entering the loop).
+void ReportAllocs(benchmark::State& state, long long before) {
+  const double iters =
+      state.iterations() > 0 ? static_cast<double>(state.iterations()) : 1.0;
+  state.counters["allocs_per_op"] =
+      static_cast<double>(AllocCount() - before) / iters;
+}
 
 dpdp::Instance MakeBenchInstance(int num_orders, int num_vehicles) {
   static dpdp::DpdpDataset* dataset = new dpdp::DpdpDataset(
@@ -88,6 +130,68 @@ void BM_AttentionBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionBackward)->Arg(10)->Arg(50);
 
+// ------------------------------------------------------------- GEMM ----
+
+// The packed register-tiled kernel behind every Linear/attention layer.
+// items_per_second reports FLOP/s (2*n^3 per product); allocs_per_op must
+// read 0 in steady state (pack buffer + output storage are reused).
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dpdp::Rng rng(4);
+  dpdp::nn::Matrix a(n, n);
+  dpdp::nn::Matrix b(n, n);
+  dpdp::nn::Matrix out(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a(r, c) = rng.Normal();
+      b(r, c) = rng.Normal();
+    }
+  }
+  dpdp::nn::Workspace ws;
+  dpdp::nn::Gemm(a, b, &out, &ws);  // Warm the pack buffer.
+  const long long before = AllocCount();
+  for (auto _ : state) {
+    dpdp::nn::Gemm(a, b, &out, &ws);
+    benchmark::DoNotOptimize(out(0, 0));
+  }
+  ReportAllocs(state, before);
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(1024);
+
+// The seed repo's zero-skip saxpy MatMul, preserved verbatim as the
+// speedup reference for BM_Gemm (acceptance bar: >= 3x at n = 256).
+dpdp::nn::Matrix NaiveMatMul(const dpdp::nn::Matrix& a,
+                             const dpdp::nn::Matrix& b) {
+  dpdp::nn::Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double av = a(i, k);
+      if (av == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) out(i, j) += av * b(k, j);
+    }
+  }
+  return out;
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dpdp::Rng rng(4);
+  dpdp::nn::Matrix a(n, n);
+  dpdp::nn::Matrix b(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a(r, c) = rng.Normal();
+      b(r, c) = rng.Normal();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(256);
+
 // ------------------------------------- constraint embedding (Sec IV-C) ----
 
 // Inference cost scales with the *feasible* sub-fleet: the route planner
@@ -109,13 +213,90 @@ void BM_GraphQForward(benchmark::State& state) {
   }
   const dpdp::nn::Matrix adj =
       dpdp::BuildNeighborAdjacency(pos, config.num_neighbors);
+  dpdp::DecisionBatch batch;
+  batch.Add(features, adj);
+  net.EvaluateBatch(batch);  // Warm the activation caches.
+  const long long before = AllocCount();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net.Forward(features, adj));
+    benchmark::DoNotOptimize(net.EvaluateBatch(batch));
   }
+  ReportAllocs(state, before);
   state.SetLabel("feasible sub-fleet of " + std::to_string(feasible) +
                  " (full fleet = 150)");
 }
 BENCHMARK(BM_GraphQForward)->Arg(10)->Arg(30)->Arg(75)->Arg(150);
+
+// ------------------------------------------- batched Q evaluation API ----
+
+// Builds `items` feasible sub-fleets of 30 vehicles each as one
+// DecisionBatch (block-diagonal adjacency) and scores them in a single
+// forward pass. Compare against BM_QForwardLooped, which walks the same
+// items through the legacy one-item-at-a-time Forward shim. allocs_per_op
+// must read 0: the decision hot path reuses every buffer in steady state.
+void MakeSubFleetItem(dpdp::Rng* rng, int m, int num_neighbors,
+                      dpdp::nn::Matrix* features, dpdp::nn::Matrix* adj) {
+  *features = dpdp::nn::Matrix(m, dpdp::kStateFeatures);
+  dpdp::nn::Matrix pos(m, 2);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < dpdp::kStateFeatures; ++c) {
+      (*features)(r, c) = rng->Uniform();
+    }
+    pos(r, 0) = rng->Uniform(0, 8);
+    pos(r, 1) = rng->Uniform(0, 8);
+  }
+  *adj = dpdp::BuildNeighborAdjacency(pos, num_neighbors);
+}
+
+void BM_EvaluateBatch(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  const int m = 30;
+  dpdp::Rng rng(5);
+  dpdp::AgentConfig config = dpdp::MakeStDdgnConfig(1);
+  dpdp::GraphQNetwork net(config, &rng);
+  dpdp::DecisionBatch batch;
+  for (int i = 0; i < items; ++i) {
+    dpdp::nn::Matrix features;
+    dpdp::nn::Matrix adj;
+    MakeSubFleetItem(&rng, m, config.num_neighbors, &features, &adj);
+    batch.Add(features, adj);
+  }
+  net.EvaluateBatch(batch);  // Warm the activation caches.
+  const long long before = AllocCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.EvaluateBatch(batch));
+  }
+  ReportAllocs(state, before);
+  state.SetItemsProcessed(state.iterations() * items);
+  state.SetLabel(std::to_string(items) + " decisions x " +
+                 std::to_string(m) + " vehicles");
+}
+BENCHMARK(BM_EvaluateBatch)->Arg(1)->Arg(8)->Arg(32);
+
+// The pre-batching decision loop: one deprecated Forward call per item.
+void BM_QForwardLooped(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  const int m = 30;
+  dpdp::Rng rng(5);
+  dpdp::AgentConfig config = dpdp::MakeStDdgnConfig(1);
+  dpdp::GraphQNetwork net(config, &rng);
+  std::vector<dpdp::nn::Matrix> features(items);
+  std::vector<dpdp::nn::Matrix> adj(items);
+  for (int i = 0; i < items; ++i) {
+    MakeSubFleetItem(&rng, m, config.num_neighbors, &features[i], &adj[i]);
+  }
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  for (auto _ : state) {
+    for (int i = 0; i < items; ++i) {
+      benchmark::DoNotOptimize(net.Forward(features[i], adj[i]));
+    }
+  }
+#pragma GCC diagnostic pop
+  state.SetItemsProcessed(state.iterations() * items);
+  state.SetLabel(std::to_string(items) + " decisions x " +
+                 std::to_string(m) + " vehicles, legacy shim");
+}
+BENCHMARK(BM_QForwardLooped)->Arg(8)->Arg(32);
 
 // ----------------------------------------------------------- ST score ----
 
@@ -266,9 +447,9 @@ BENCHMARK(BM_HistogramRecord);
 
 // -------------------------------------------- machine-readable output ----
 
-// Captures every finished run so the bench binary can emit BENCH_3.json
-// (name -> ns/op, items/s) for CI trend tracking alongside the normal
-// console table.
+// Captures every finished run so the bench binary can emit BENCH_4.json
+// (name -> ns/op, items/s, plus custom counters such as allocs_per_op)
+// for CI trend tracking alongside the normal console table.
 class JsonCaptureReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& reports) override {
@@ -280,9 +461,8 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       const double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       row.ns_per_op = run.real_accumulated_time / iters * 1e9;
-      const auto it = run.counters.find("items_per_second");
-      if (it != run.counters.end()) {
-        row.items_per_second = static_cast<double>(it->second);
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, static_cast<double>(counter));
       }
       rows_.push_back(std::move(row));
     }
@@ -295,8 +475,11 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       os << "    {\"name\": \"" << r.name << "\", \"ns_per_op\": "
-         << r.ns_per_op << ", \"items_per_second\": " << r.items_per_second
-         << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+         << r.ns_per_op;
+      for (const auto& [name, value] : r.counters) {
+        os << ", \"" << name << "\": " << value;
+      }
+      os << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
     return static_cast<bool>(os);
@@ -306,7 +489,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
   struct Row {
     std::string name;
     double ns_per_op = 0.0;
-    double items_per_second = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
   };
   std::vector<Row> rows_;
 };
@@ -319,7 +502,7 @@ int main(int argc, char** argv) {
   JsonCaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  const std::string json_path = dpdp::EnvStr("DPDP_BENCH_JSON", "BENCH_3.json");
+  const std::string json_path = dpdp::EnvStr("DPDP_BENCH_JSON", "BENCH_4.json");
   if (!reporter.WriteJson(json_path)) {
     DPDP_LOG(ERROR) << "cannot write benchmark JSON to " << json_path;
     return 1;

@@ -17,31 +17,44 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads,
   DPDP_CHECK(d_model % num_heads == 0);
 }
 
-Matrix MultiHeadSelfAttention::Forward(const Matrix& x, const Matrix& mask) {
+const Matrix& MultiHeadSelfAttention::Forward(const Matrix& x,
+                                              const Matrix& mask,
+                                              const RowSpans* spans,
+                                              Workspace& ws) {
   const int n = x.rows();
   DPDP_CHECK(x.cols() == d_model_);
   DPDP_CHECK(mask.rows() == n && mask.cols() == n);
+  DPDP_CHECK(spans == nullptr || static_cast<int>(spans->size()) == n);
 
-  mask_ = mask;
-  q_ = wq_.Forward(x);
-  k_ = wk_.Forward(x);
-  v_ = wv_.Forward(x);
+  mask_ = &mask;
+  spans_.clear();
+  if (spans != nullptr) spans_ = *spans;
+  q_ = &wq_.Forward(x, ws);
+  k_ = &wk_.Forward(x, ws);
+  v_ = &wv_.Forward(x, ws);
 
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
-  attn_.assign(num_heads_, Matrix(n, n));
-  concat_ = Matrix(n, d_model_);
+  // Uninitialized resize is safe: the softmax pass writes every attention
+  // entry inside each row's span (outside-span entries stay undefined and
+  // are never read back — every walk below is span-restricted), and each
+  // concat segment is zeroed before its weighted sum.
+  attn_.resize(num_heads_);
+  for (Matrix& a : attn_) a.Resize(n, n);
+  concat_.Resize(n, d_model_);
 
   for (int h = 0; h < num_heads_; ++h) {
     const int off = h * d_head_;
     Matrix& a = attn_[h];
     for (int i = 0; i < n; ++i) {
+      const int jb = spans ? (*spans)[i].first : 0;
+      const int je = spans ? (*spans)[i].second : n;
       // Masked, numerically-stabilized softmax over allowed positions.
       double mx = -1e300;
-      for (int j = 0; j < n; ++j) {
+      for (int j = jb; j < je; ++j) {
         if (mask(i, j) == 0.0) continue;
         double s = 0.0;
         for (int c = 0; c < d_head_; ++c) {
-          s += q_(i, off + c) * k_(j, off + c);
+          s += (*q_)(i, off + c) * (*k_)(j, off + c);
         }
         s *= scale;
         a(i, j) = s;
@@ -49,7 +62,7 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, const Matrix& mask) {
       }
       DPDP_CHECK(mx > -1e299);  // Every row must attend to something.
       double denom = 0.0;
-      for (int j = 0; j < n; ++j) {
+      for (int j = jb; j < je; ++j) {
         if (mask(i, j) == 0.0) {
           a(i, j) = 0.0;
         } else {
@@ -57,66 +70,89 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, const Matrix& mask) {
           denom += a(i, j);
         }
       }
-      for (int j = 0; j < n; ++j) a(i, j) /= denom;
+      for (int j = jb; j < je; ++j) a(i, j) /= denom;
       // Weighted sum of values for this head.
-      for (int j = 0; j < n; ++j) {
+      for (int c = 0; c < d_head_; ++c) concat_(i, off + c) = 0.0;
+      for (int j = jb; j < je; ++j) {
         const double w = a(i, j);
         if (w == 0.0) continue;
         for (int c = 0; c < d_head_; ++c) {
-          concat_(i, off + c) += w * v_(j, off + c);
+          concat_(i, off + c) += w * (*v_)(j, off + c);
         }
       }
     }
   }
-  return wo_.Forward(concat_);
+  return wo_.Forward(concat_, ws);
 }
 
-Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
+const Matrix& MultiHeadSelfAttention::Forward(const Matrix& x,
+                                              const Matrix& mask,
+                                              Workspace& ws) {
+  return Forward(x, mask, nullptr, ws);
+}
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& x, const Matrix& mask) {
+  return Forward(x, mask, nullptr, ThreadLocalWorkspace());
+}
+
+const Matrix& MultiHeadSelfAttention::Backward(const Matrix& dy,
+                                               Workspace& ws) {
   const int n = dy.rows();
   DPDP_CHECK(dy.cols() == d_model_);
   DPDP_CHECK(!attn_.empty());
 
-  const Matrix dconcat = wo_.Backward(dy);
+  const Matrix& dconcat = wo_.Backward(dy, ws);
 
-  Matrix dq(n, d_model_);
-  Matrix dk(n, d_model_);
-  Matrix dv(n, d_model_);
+  dq_.Resize(n, d_model_);
+  dq_.Fill(0.0);
+  dk_.Resize(n, d_model_);
+  dk_.Fill(0.0);
+  dv_.Resize(n, d_model_);
+  dv_.Fill(0.0);
+  da_.resize(n);
   const double scale = 1.0 / std::sqrt(static_cast<double>(d_head_));
 
+  const bool spanned = !spans_.empty();
   for (int h = 0; h < num_heads_; ++h) {
     const int off = h * d_head_;
     const Matrix& a = attn_[h];
     for (int i = 0; i < n; ++i) {
+      const int jb = spanned ? spans_[i].first : 0;
+      const int je = spanned ? spans_[i].second : n;
       // dA(i, j) = dconcat(i, head) . V(j, head); dV += A^T dconcat.
-      std::vector<double> da(n, 0.0);
-      for (int j = 0; j < n; ++j) {
-        if (mask_(i, j) == 0.0) continue;
+      std::fill(da_.begin() + jb, da_.begin() + je, 0.0);
+      for (int j = jb; j < je; ++j) {
+        if ((*mask_)(i, j) == 0.0) continue;
         double s = 0.0;
         for (int c = 0; c < d_head_; ++c) {
-          s += dconcat(i, off + c) * v_(j, off + c);
-          dv(j, off + c) += a(i, j) * dconcat(i, off + c);
+          s += dconcat(i, off + c) * (*v_)(j, off + c);
+          dv_(j, off + c) += a(i, j) * dconcat(i, off + c);
         }
-        da[j] = s;
+        da_[j] = s;
       }
       // Softmax backward: dS = A .* (dA - sum_j dA_j A_j).
       double dot = 0.0;
-      for (int j = 0; j < n; ++j) dot += da[j] * a(i, j);
-      for (int j = 0; j < n; ++j) {
-        if (mask_(i, j) == 0.0) continue;
-        const double ds = a(i, j) * (da[j] - dot) * scale;
+      for (int j = jb; j < je; ++j) dot += da_[j] * a(i, j);
+      for (int j = jb; j < je; ++j) {
+        if ((*mask_)(i, j) == 0.0) continue;
+        const double ds = a(i, j) * (da_[j] - dot) * scale;
         if (ds == 0.0) continue;
         for (int c = 0; c < d_head_; ++c) {
-          dq(i, off + c) += ds * k_(j, off + c);
-          dk(j, off + c) += ds * q_(i, off + c);
+          dq_(i, off + c) += ds * (*k_)(j, off + c);
+          dk_(j, off + c) += ds * (*q_)(i, off + c);
         }
       }
     }
   }
 
-  Matrix dx = wq_.Backward(dq);
-  dx.AddInPlace(wk_.Backward(dk));
-  dx.AddInPlace(wv_.Backward(dv));
-  return dx;
+  dx_ = wq_.Backward(dq_, ws);
+  dx_.AddInPlace(wk_.Backward(dk_, ws));
+  dx_.AddInPlace(wv_.Backward(dv_, ws));
+  return dx_;
+}
+
+Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
+  return Backward(dy, ThreadLocalWorkspace());
 }
 
 std::vector<Parameter*> MultiHeadSelfAttention::Params() {

@@ -1,6 +1,7 @@
 #ifndef DPDP_NN_ATTENTION_H_
 #define DPDP_NN_ATTENTION_H_
 
+#include <utility>
 #include <vector>
 
 #include "nn/layers.h"
@@ -27,12 +28,38 @@ class MultiHeadSelfAttention {
   /// d_model must be divisible by num_heads.
   MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng);
 
+  /// Per-row column windows: row i may only attend within columns
+  /// [spans[i].first, spans[i].second). Lets a block-diagonal batch skip
+  /// the quadratic cross-item scan — with spans, cost is the sum of the
+  /// per-block costs instead of (total rows)^2.
+  using RowSpans = std::vector<std::pair<int, int>>;
+
   /// X: (K x d_model); mask: (K x K) with mask(i, j) = 1 iff row i may
   /// attend to row j. Every row must allow at least one position (ensure
   /// the diagonal is set). Returns (K x d_model).
+  ///
+  /// The Workspace overload returns a reference to a layer-owned buffer
+  /// (valid until the next Forward) and performs no heap allocation once
+  /// the caches have grown to the working shape.
+  ///
+  /// `spans` (may be nullptr = full rows) promises mask(i, j) == 0 for
+  /// every j outside row i's span; the caller owns that invariant.
+  /// Numerics are bit-identical to the full-row walk because skipped
+  /// columns are exactly the masked-out ones. With spans, attention-weight
+  /// entries outside each row's span (last_attention_weights()) are
+  /// uninitialized — only the softmax entries inside the span are defined.
+  ///
+  /// `mask` is borrowed, not copied: it must stay alive and unmodified
+  /// until the matching Backward (or the next Forward) completes. Batched
+  /// masks grow with the square of the total row count, so copying one
+  /// per level would dwarf the attention math itself.
+  const Matrix& Forward(const Matrix& x, const Matrix& mask,
+                        const RowSpans* spans, Workspace& ws);
+  const Matrix& Forward(const Matrix& x, const Matrix& mask, Workspace& ws);
   Matrix Forward(const Matrix& x, const Matrix& mask);
 
   /// dY: (K x d_model) -> dX (K x d_model); accumulates parameter grads.
+  const Matrix& Backward(const Matrix& dy, Workspace& ws);
   Matrix Backward(const Matrix& dy);
 
   std::vector<Parameter*> Params();
@@ -54,11 +81,22 @@ class MultiHeadSelfAttention {
   Linear wv_;
   Linear wo_;
 
-  // Forward caches.
-  Matrix mask_;
-  Matrix q_, k_, v_;           // (K x d_model) projected inputs.
+  // Forward caches. Owned buffers are reused across calls (resized, never
+  // reallocated in steady state); mask_/q_/k_/v_ are borrowed — the mask
+  // from the caller, the projections from wq_/wk_/wv_'s output buffers
+  // (valid until those layers run again, i.e. until the next Forward).
+  const Matrix* mask_ = nullptr;
+  RowSpans spans_;             // Active row windows; empty = full rows.
+  const Matrix* q_ = nullptr;  // (K x d_model) projected inputs.
+  const Matrix* k_ = nullptr;
+  const Matrix* v_ = nullptr;
   std::vector<Matrix> attn_;   // Per-head (K x K) softmax weights.
   Matrix concat_;              // (K x d_model) pre-output concat.
+
+  // Backward scratch, same reuse policy.
+  Matrix dq_, dk_, dv_;
+  Matrix dx_;
+  std::vector<double> da_;     // Per-row attention-grad scratch.
 };
 
 }  // namespace dpdp::nn

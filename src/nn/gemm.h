@@ -1,0 +1,88 @@
+#ifndef DPDP_NN_GEMM_H_
+#define DPDP_NN_GEMM_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace dpdp::nn {
+
+/// Reusable scratch for the GEMM kernels and the layers built on them.
+/// Owns the packed B-panel buffer, so a caller that keeps one Workspace
+/// alive across calls pays zero heap allocations in steady state. Not
+/// thread-safe: one Workspace per concurrently-running network.
+class Workspace {
+ public:
+  /// Packed-panel buffer, grown on demand and never shrunk.
+  std::vector<double>& PackBuffer(size_t min_size) {
+    if (pack_.size() < min_size) pack_.resize(min_size);
+    return pack_;
+  }
+
+  size_t pack_capacity() const { return pack_.capacity(); }
+
+ private:
+  std::vector<double> pack_;
+};
+
+/// Per-thread fallback Workspace used by the value-returning Matrix and
+/// layer wrappers. Hot paths should own a Workspace instead so scratch
+/// lifetime is explicit.
+Workspace& ThreadLocalWorkspace();
+
+/// Cache-blocked GEMM kernels. All of them compute every output element as
+/// ONE dot product over the full k range in ascending-k order — blocking
+/// and threading only change which element is computed when, never the
+/// accumulation order inside an element. Results are therefore
+/// bit-identical for any tile shape and any thread count, which is what
+/// keeps the repo's determinism goldens valid (see DESIGN.md "Compute
+/// kernel model").
+///
+/// `out` is resized (uninitialized) to the result shape; prior contents
+/// are ignored unless the variant documents accumulation.
+
+/// out = a (m x k) * b (k x n).
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out, Workspace* ws);
+
+/// out = a * b + row-broadcast bias (1 x n). The bias is added after the
+/// k-accumulation finishes, matching MatMul(...).AddRowBroadcast(bias).
+void GemmBias(const Matrix& a, const Matrix& b, const Matrix& bias,
+              Matrix* out, Workspace* ws);
+
+/// out = a (m x k) * b^T, with b given as (n x k).
+void GemmTransposedB(const Matrix& a, const Matrix& b, Matrix* out,
+                     Workspace* ws);
+
+/// out (+)= a^T (k x m, stored as a (k x m) row-major, i.e. a's columns
+/// index the output rows) * b (k x n). When `accumulate` is true the dot
+/// products are added onto the existing contents of `out` (shape must
+/// already match) — the gradient-accumulation path of Linear::Backward.
+void GemmTransposedA(const Matrix& a, const Matrix& b, Matrix* out,
+                     Workspace* ws, bool accumulate = false);
+
+/// Ordered naive reference: out(i, j) = one dot product over ascending k,
+/// no packing, no tiling. Compiled in the same translation unit as the
+/// production kernels and accumulated through the same explicit
+/// multiply-add helper (fused iff the kernels fuse), so the bit-equality
+/// tests compare like for like even when DPDP_GEMM_NATIVE retargets this
+/// TU. Test/verification use only.
+void GemmReference(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Worker count used for large GEMMs: DPDP_GEMM_THREADS when set to a
+/// positive integer (read once at first use), else 1 (serial — the
+/// networks in this project are small enough that the kernel itself is
+/// the win; threading is opt-in for the big-matrix workloads).
+int GemmThreads();
+
+/// Programmatic override of DPDP_GEMM_THREADS (tests / benches). Values
+/// < 1 are clamped to 1. Thread-compatible with concurrent GEMM calls
+/// only in the sense that each call reads the value once at entry.
+void SetGemmThreads(int n);
+
+/// Flop threshold (2*m*n*k) above which a multi-threaded GEMM fans out
+/// over row blocks. Below it the parallel dispatch overhead dominates.
+inline constexpr long long kGemmParallelMinFlops = 1 << 22;
+
+}  // namespace dpdp::nn
+
+#endif  // DPDP_NN_GEMM_H_

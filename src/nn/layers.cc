@@ -102,46 +102,95 @@ Matrix HeInit(int in_dim, int out_dim, Rng* rng) {
 Linear::Linear(int in_dim, int out_dim, Rng* rng)
     : w_(HeInit(in_dim, out_dim, rng)), b_(Matrix(1, out_dim)) {}
 
-Matrix Linear::Forward(const Matrix& x) {
+const Matrix& Linear::Forward(const Matrix& x, Workspace& ws) {
   DPDP_CHECK(x.cols() == w_.value.rows());
   cached_x_ = x;
-  return x.MatMul(w_.value).AddRowBroadcast(b_.value);
+  GemmBias(x, w_.value, b_.value, &y_, &ws);
+  return y_;
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  return Forward(x, ThreadLocalWorkspace());
+}
+
+const Matrix& Linear::Backward(const Matrix& dy, Workspace& ws) {
+  DPDP_CHECK(dy.rows() == cached_x_.rows());
+  DPDP_CHECK(dy.cols() == w_.value.cols());
+  GemmTransposedA(cached_x_, dy, &w_.grad, &ws, /*accumulate=*/true);
+  for (int r = 0; r < dy.rows(); ++r) {
+    for (int c = 0; c < dy.cols(); ++c) b_.grad(0, c) += dy(r, c);
+  }
+  GemmTransposedB(dy, w_.value, &dx_, &ws);
+  return dx_;
 }
 
 Matrix Linear::Backward(const Matrix& dy) {
-  DPDP_CHECK(dy.rows() == cached_x_.rows());
-  DPDP_CHECK(dy.cols() == w_.value.cols());
-  w_.grad.AddInPlace(cached_x_.TransposedMatMul(dy));
-  b_.grad.AddInPlace(dy.SumRows());
-  return dy.MatMulTransposed(w_.value);
+  return Backward(dy, ThreadLocalWorkspace());
 }
 
 std::vector<Parameter*> Linear::Params() { return {&w_, &b_}; }
 
-Matrix ReLU::Forward(const Matrix& x) {
-  cached_mask_ = Matrix(x.rows(), x.cols());
-  Matrix y(x.rows(), x.cols());
+const Matrix& ReLU::Forward(const Matrix& x, Workspace& ws) {
+  (void)ws;
+  // Every element of both buffers is written, so the uninitialized Resize
+  // is safe.
+  cached_mask_.Resize(x.rows(), x.cols());
+  y_.Resize(x.rows(), x.cols());
   for (int r = 0; r < x.rows(); ++r) {
     for (int c = 0; c < x.cols(); ++c) {
-      if (x(r, c) > 0.0) {
-        y(r, c) = x(r, c);
-        cached_mask_(r, c) = 1.0;
-      }
+      const bool on = x(r, c) > 0.0;
+      y_(r, c) = on ? x(r, c) : 0.0;
+      cached_mask_(r, c) = on ? 1.0 : 0.0;
     }
   }
-  return y;
+  return y_;
+}
+
+Matrix ReLU::Forward(const Matrix& x) {
+  return Forward(x, ThreadLocalWorkspace());
+}
+
+const Matrix& ReLU::Backward(const Matrix& dy, Workspace& ws) {
+  (void)ws;
+  DPDP_CHECK(dy.rows() == cached_mask_.rows());
+  DPDP_CHECK(dy.cols() == cached_mask_.cols());
+  dx_.Resize(dy.rows(), dy.cols());
+  for (int r = 0; r < dy.rows(); ++r) {
+    for (int c = 0; c < dy.cols(); ++c) {
+      dx_(r, c) = dy(r, c) * cached_mask_(r, c);
+    }
+  }
+  return dx_;
 }
 
 Matrix ReLU::Backward(const Matrix& dy) const {
   return dy.Hadamard(cached_mask_);
 }
 
-Matrix Tanh::Forward(const Matrix& x) {
-  cached_y_ = Matrix(x.rows(), x.cols());
+const Matrix& Tanh::Forward(const Matrix& x, Workspace& ws) {
+  (void)ws;
+  cached_y_.Resize(x.rows(), x.cols());
   for (int r = 0; r < x.rows(); ++r) {
     for (int c = 0; c < x.cols(); ++c) cached_y_(r, c) = std::tanh(x(r, c));
   }
   return cached_y_;
+}
+
+Matrix Tanh::Forward(const Matrix& x) {
+  return Forward(x, ThreadLocalWorkspace());
+}
+
+const Matrix& Tanh::Backward(const Matrix& dy, Workspace& ws) {
+  (void)ws;
+  DPDP_CHECK(dy.rows() == cached_y_.rows());
+  DPDP_CHECK(dy.cols() == cached_y_.cols());
+  dx_.Resize(dy.rows(), dy.cols());
+  for (int r = 0; r < dy.rows(); ++r) {
+    for (int c = 0; c < dy.cols(); ++c) {
+      dx_(r, c) = dy(r, c) * (1.0 - cached_y_(r, c) * cached_y_(r, c));
+    }
+  }
+  return dx_;
 }
 
 Matrix Tanh::Backward(const Matrix& dy) const {
@@ -166,44 +215,54 @@ Mlp::Mlp(const std::vector<int>& dims, Activation hidden_activation, Rng* rng)
   tanhs_.resize(hidden);
 }
 
-Matrix Mlp::Forward(const Matrix& x) {
-  Matrix h = x;
+const Matrix& Mlp::Forward(const Matrix& x, Workspace& ws) {
+  // Each layer owns its output buffer, so chaining references never
+  // aliases a gemm input with its output.
+  const Matrix* h = &x;
   for (size_t i = 0; i < linears_.size(); ++i) {
-    h = linears_[i].Forward(h);
+    h = &linears_[i].Forward(*h, ws);
     if (i + 1 < linears_.size()) {
       switch (activation_) {
         case Activation::kReLU:
-          h = relus_[i].Forward(h);
+          h = &relus_[i].Forward(*h, ws);
           break;
         case Activation::kTanh:
-          h = tanhs_[i].Forward(h);
+          h = &tanhs_[i].Forward(*h, ws);
           break;
         case Activation::kIdentity:
           break;
       }
     }
   }
-  return h;
+  return *h;
 }
 
-Matrix Mlp::Backward(const Matrix& dy) {
-  Matrix d = dy;
+Matrix Mlp::Forward(const Matrix& x) {
+  return Forward(x, ThreadLocalWorkspace());
+}
+
+const Matrix& Mlp::Backward(const Matrix& dy, Workspace& ws) {
+  const Matrix* d = &dy;
   for (size_t i = linears_.size(); i-- > 0;) {
     if (i + 1 < linears_.size()) {
       switch (activation_) {
         case Activation::kReLU:
-          d = relus_[i].Backward(d);
+          d = &relus_[i].Backward(*d, ws);
           break;
         case Activation::kTanh:
-          d = tanhs_[i].Backward(d);
+          d = &tanhs_[i].Backward(*d, ws);
           break;
         case Activation::kIdentity:
           break;
       }
     }
-    d = linears_[i].Backward(d);
+    d = &linears_[i].Backward(*d, ws);
   }
-  return d;
+  return *d;
+}
+
+Matrix Mlp::Backward(const Matrix& dy) {
+  return Backward(dy, ThreadLocalWorkspace());
 }
 
 std::vector<Parameter*> Mlp::Params() {

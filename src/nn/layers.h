@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "nn/gemm.h"
 #include "nn/matrix.h"
 #include "util/rng.h"
 
@@ -50,14 +51,22 @@ bool LoadMatrix(std::istream* is, Matrix* m);
 ///
 /// Forward/Backward must be called in strict alternation: each Backward
 /// consumes the cache left by the immediately preceding Forward.
+///
+/// The Workspace overloads are the hot path: they run on the blocked gemm
+/// kernels and return references to layer-owned buffers (valid until the
+/// layer's next Forward/Backward), so a steady-state pass performs no heap
+/// allocation. The value-returning overloads are convenience wrappers over
+/// the same code (via ThreadLocalWorkspace) that copy the result out.
 class Linear {
  public:
   Linear(int in_dim, int out_dim, Rng* rng);
 
   /// x: (batch x in_dim) -> (batch x out_dim).
+  const Matrix& Forward(const Matrix& x, Workspace& ws);
   Matrix Forward(const Matrix& x);
 
   /// dy: (batch x out_dim) -> dx (batch x in_dim); accumulates dW, db.
+  const Matrix& Backward(const Matrix& dy, Workspace& ws);
   Matrix Backward(const Matrix& dy);
 
   std::vector<Parameter*> Params();
@@ -69,6 +78,8 @@ class Linear {
   Parameter w_;  ///< (in_dim x out_dim)
   Parameter b_;  ///< (1 x out_dim)
   Matrix cached_x_;
+  Matrix y_;   ///< Layer-owned Forward output.
+  Matrix dx_;  ///< Layer-owned Backward output.
 };
 
 /// Supported nonlinearities for MLP hidden layers.
@@ -77,30 +88,42 @@ enum class Activation { kReLU, kTanh, kIdentity };
 /// ReLU with cached activation mask.
 class ReLU {
  public:
+  const Matrix& Forward(const Matrix& x, Workspace& ws);
   Matrix Forward(const Matrix& x);
+  const Matrix& Backward(const Matrix& dy, Workspace& ws);
   Matrix Backward(const Matrix& dy) const;
 
  private:
   Matrix cached_mask_;
+  Matrix y_;
+  Matrix dx_;
 };
 
 /// Tanh with cached output.
 class Tanh {
  public:
+  const Matrix& Forward(const Matrix& x, Workspace& ws);
   Matrix Forward(const Matrix& x);
+  const Matrix& Backward(const Matrix& dy, Workspace& ws);
   Matrix Backward(const Matrix& dy) const;
 
  private:
   Matrix cached_y_;
+  Matrix dx_;
 };
 
 /// Multi-layer perceptron: Linear layers with a shared hidden activation
 /// and an identity output layer. `dims` = {in, h1, ..., out}.
+///
+/// The Workspace overloads return a reference to the last layer's buffer;
+/// it stays valid until this Mlp's next Forward/Backward call.
 class Mlp {
  public:
   Mlp(const std::vector<int>& dims, Activation hidden_activation, Rng* rng);
 
+  const Matrix& Forward(const Matrix& x, Workspace& ws);
   Matrix Forward(const Matrix& x);
+  const Matrix& Backward(const Matrix& dy, Workspace& ws);
   Matrix Backward(const Matrix& dy);
 
   std::vector<Parameter*> Params();

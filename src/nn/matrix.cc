@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/gemm.h"
+
 namespace dpdp::nn {
 
 Matrix::Matrix(int rows, int cols, double fill)
@@ -29,52 +31,35 @@ Matrix Matrix::Identity(int n) {
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
-  DPDP_CHECK(cols_ == other.rows_);
-  Matrix out(rows_, other.cols_);
-  for (int i = 0; i < rows_; ++i) {
-    for (int k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      const double* brow = other.data_.data() +
-                           static_cast<size_t>(k) * other.cols_;
-      double* orow = out.data_.data() + static_cast<size_t>(i) * out.cols_;
-      for (int j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  Matrix out;
+  Gemm(*this, other, &out, &ThreadLocalWorkspace());
   return out;
 }
 
 Matrix Matrix::MatMulTransposed(const Matrix& other) const {
-  DPDP_CHECK(cols_ == other.cols_);
-  Matrix out(rows_, other.rows_);
-  for (int i = 0; i < rows_; ++i) {
-    const double* arow = data_.data() + static_cast<size_t>(i) * cols_;
-    for (int j = 0; j < other.rows_; ++j) {
-      const double* brow = other.data_.data() +
-                           static_cast<size_t>(j) * other.cols_;
-      double s = 0.0;
-      for (int k = 0; k < cols_; ++k) s += arow[k] * brow[k];
-      out(i, j) = s;
-    }
-  }
+  Matrix out;
+  GemmTransposedB(*this, other, &out, &ThreadLocalWorkspace());
   return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
-  DPDP_CHECK(rows_ == other.rows_);
-  Matrix out(cols_, other.cols_);
-  for (int k = 0; k < rows_; ++k) {
-    const double* arow = data_.data() + static_cast<size_t>(k) * cols_;
-    const double* brow = other.data_.data() +
-                         static_cast<size_t>(k) * other.cols_;
-    for (int i = 0; i < cols_; ++i) {
-      const double a = arow[i];
-      if (a == 0.0) continue;
-      double* orow = out.data_.data() + static_cast<size_t>(i) * out.cols_;
-      for (int j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  Matrix out;
+  GemmTransposedA(*this, other, &out, &ThreadLocalWorkspace());
   return out;
+}
+
+void Matrix::Resize(int rows, int cols) {
+  DPDP_CHECK(rows >= 0 && cols >= 0);
+  const size_t need = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (need > data_.size()) data_.resize(need);
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::Reserve(int rows, int cols) {
+  DPDP_CHECK(rows >= 0 && cols >= 0);
+  const size_t need = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (need > data_.size()) data_.resize(need);
 }
 
 Matrix Matrix::Transpose() const {
@@ -94,38 +79,43 @@ Matrix Matrix::Add(const Matrix& other) const {
 
 Matrix Matrix::Sub(const Matrix& other) const {
   DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  const size_t n = static_cast<size_t>(size());
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  for (size_t i = 0; i < n; ++i) out.data_[i] -= other.data_[i];
   return out;
 }
 
 Matrix Matrix::Hadamard(const Matrix& other) const {
   DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  const size_t n = static_cast<size_t>(size());
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  for (size_t i = 0; i < n; ++i) out.data_[i] *= other.data_[i];
   return out;
 }
 
 Matrix Matrix::Scale(double factor) const {
+  const size_t n = static_cast<size_t>(size());
   Matrix out = *this;
-  for (double& v : out.data_) v *= factor;
+  for (size_t i = 0; i < n; ++i) out.data_[i] *= factor;
   return out;
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
   DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  const size_t n = static_cast<size_t>(size());
+  for (size_t i = 0; i < n; ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::AddScaled(const Matrix& other, double factor) {
   DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
+  const size_t n = static_cast<size_t>(size());
+  for (size_t i = 0; i < n; ++i) {
     data_[i] += factor * other.data_[i];
   }
 }
 
 void Matrix::Fill(double value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill_n(data_.begin(), static_cast<size_t>(size()), value);
 }
 
 Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
@@ -175,28 +165,32 @@ Matrix Matrix::SoftmaxRows() const {
 }
 
 double Matrix::SumAll() const {
+  const size_t n = static_cast<size_t>(size());
   double s = 0.0;
-  for (double v : data_) s += v;
+  for (size_t i = 0; i < n; ++i) s += data_[i];
   return s;
 }
 
 double Matrix::MaxAll() const {
-  DPDP_CHECK(!data_.empty());
+  DPDP_CHECK(size() > 0);
+  const size_t n = static_cast<size_t>(size());
   double m = data_[0];
-  for (double v : data_) m = std::max(m, v);
+  for (size_t i = 0; i < n; ++i) m = std::max(m, data_[i]);
   return m;
 }
 
 double Matrix::FrobeniusNorm() const {
+  const size_t n = static_cast<size_t>(size());
   double s = 0.0;
-  for (double v : data_) s += v * v;
+  for (size_t i = 0; i < n; ++i) s += data_[i] * data_[i];
   return std::sqrt(s);
 }
 
 double Matrix::FrobeniusDistance(const Matrix& other) const {
   DPDP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  const size_t n = static_cast<size_t>(size());
   double s = 0.0;
-  for (size_t i = 0; i < data_.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const double d = data_[i] - other.data_[i];
     s += d * d;
   }
@@ -205,15 +199,17 @@ double Matrix::FrobeniusDistance(const Matrix& other) const {
 
 bool Matrix::AllClose(const Matrix& other, double tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
-  for (size_t i = 0; i < data_.size(); ++i) {
+  const size_t n = static_cast<size_t>(size());
+  for (size_t i = 0; i < n; ++i) {
     if (std::abs(data_[i] - other.data_[i]) > tol) return false;
   }
   return true;
 }
 
 bool Matrix::AllFinite() const {
-  for (double v : data_) {
-    if (!std::isfinite(v)) return false;
+  const size_t n = static_cast<size_t>(size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data_[i])) return false;
   }
   return true;
 }

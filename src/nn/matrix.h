@@ -32,6 +32,19 @@ class Matrix {
   int size() const { return rows_ * cols_; }
   bool empty() const { return size() == 0; }
 
+  /// Reshapes to rows x cols WITHOUT zeroing: newly exposed elements are
+  /// unspecified (zero only the first time the backing store grows) and
+  /// element positions are preserved only while `cols` is unchanged. The
+  /// backing store never shrinks, so a matrix reused as scratch reaches a
+  /// steady state with no allocation and no memset per call. Callers must
+  /// overwrite every element before reading.
+  void Resize(int rows, int cols);
+
+  /// Pre-grows the backing store to hold rows x cols without changing the
+  /// current shape. Lets long-lived scratch matrices front-load their one
+  /// allocation.
+  void Reserve(int rows, int cols);
+
   double& at(int r, int c) {
     DPDP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
@@ -108,6 +121,8 @@ class Matrix {
  private:
   int rows_;
   int cols_;
+  /// May hold more than rows_*cols_ elements after a shrinking Resize;
+  /// every loop must bound itself by size(), never data_.size().
   std::vector<double> data_;
 };
 

@@ -33,29 +33,39 @@ double ActorCriticAgent::InstantReward(const DispatchContext& context,
           cfg.cost_per_km * opt.incremental_length);
 }
 
-std::vector<double> ActorCriticAgent::PolicyOnSubFleet(
-    const SubFleetInputs& in) {
-  const std::vector<double> logits =
-      actor_->Forward(in.features, in.adjacency);
-  std::vector<double> pi(logits.size());
+namespace {
+
+/// Softmax over rows [offset, offset + m) of a logits column.
+std::vector<double> SoftmaxSlice(const nn::Matrix& logits, int offset,
+                                 int m) {
+  std::vector<double> pi(static_cast<size_t>(m));
   double mx = -1e300;
-  for (double l : logits) mx = std::max(mx, l);
+  for (int i = 0; i < m; ++i) mx = std::max(mx, logits(offset + i, 0));
   double denom = 0.0;
-  for (size_t i = 0; i < logits.size(); ++i) {
-    pi[i] = std::exp(logits[i] - mx);
+  for (int i = 0; i < m; ++i) {
+    pi[i] = std::exp(logits(offset + i, 0) - mx);
     denom += pi[i];
   }
   for (double& p : pi) p /= denom;
   return pi;
 }
 
+}  // namespace
+
+std::vector<double> ActorCriticAgent::PolicyOnSubFleet(
+    const FleetState& state, const std::vector<int>& idx) {
+  act_batch_.Clear();
+  AppendSubFleetInputs(state, idx, config_.use_graph, config_.num_neighbors,
+                       &act_batch_);
+  const nn::Matrix& logits = actor_->EvaluateBatch(act_batch_);
+  return SoftmaxSlice(logits, 0, static_cast<int>(idx.size()));
+}
+
 int ActorCriticAgent::ChooseVehicle(const DispatchContext& context) {
   const FleetState state = BuildFleetState(context, config_);
   const std::vector<int> idx = state.FeasibleIndices();
   DPDP_CHECK(!idx.empty());
-  const SubFleetInputs in = BuildSubFleetInputs(
-      state, idx, config_.use_graph, config_.num_neighbors);
-  const std::vector<double> pi = PolicyOnSubFleet(in);
+  const std::vector<double> pi = PolicyOnSubFleet(state, idx);
   for (double p : pi) {
     // A NaN logit survives the softmax as NaN; Categorical would abort on
     // it. Hand the decision back so the simulator degrades gracefully.
@@ -116,42 +126,53 @@ void ActorCriticAgent::TrainEpisode() {
   double value_loss = 0.0;
   const double inv_n = 1.0 / static_cast<double>(n);
 
+  // One batch item per episode step; the whole episode runs through each
+  // head in a single EvaluateBatch / BackwardBatch round trip.
+  train_batch_.Clear();
+  std::vector<int> sub_action(n);
   for (size_t i = 0; i < n; ++i) {
     const FleetState state = episode_[i].state.ToFleetState();
     const std::vector<int> idx = state.FeasibleIndices();
     const auto it = std::find(idx.begin(), idx.end(), episode_[i].action);
     DPDP_CHECK(it != idx.end());
-    const int sub_action = static_cast<int>(it - idx.begin());
-    const SubFleetInputs in = BuildSubFleetInputs(
-        state, idx, config_.use_graph, config_.num_neighbors);
-    const int m = static_cast<int>(idx.size());
-
-    // Critic: V = mean of per-vehicle values over the feasible sub-fleet.
-    const std::vector<double> values =
-        critic_->Forward(in.features, in.adjacency);
-    double v = 0.0;
-    for (double x : values) v += x;
-    v /= static_cast<double>(m);
-    const double advantage = returns[i] - v;
-
-    // Value gradient: d/dv_r of 0.5 (V - G)^2 = (V - G) / m.
-    std::vector<double> dvalues(m);
-    for (int r = 0; r < m; ++r) {
-      dvalues[r] = (v - returns[i]) / static_cast<double>(m) * inv_n;
-    }
-    critic_->Backward(dvalues);
-    value_loss += 0.5 * advantage * advantage;
-
-    // Actor gradient: d/dlogits of -log pi(a) * A = (pi - onehot_a) * A.
-    const std::vector<double> pi = PolicyOnSubFleet(in);
-    std::vector<double> dlogits(m);
-    for (int r = 0; r < m; ++r) {
-      const double onehot = (r == sub_action) ? 1.0 : 0.0;
-      dlogits[r] = (pi[r] - onehot) * advantage * inv_n;
-    }
-    actor_->Backward(dlogits);
-    policy_loss += -std::log(std::max(pi[sub_action], 1e-12)) * advantage;
+    sub_action[i] = static_cast<int>(it - idx.begin());
+    AppendSubFleetInputs(state, idx, config_.use_graph,
+                         config_.num_neighbors, &train_batch_);
   }
+
+  // Critic: V(S_i) = mean of per-vehicle values over item i's rows.
+  // Value gradient: d/dv_r of 0.5 (V - G)^2 = (V - G) / m.
+  const nn::Matrix& values = critic_->EvaluateBatch(train_batch_);
+  std::vector<double> advantage(n);
+  dvalues_.Resize(train_batch_.total_rows(), 1);
+  for (size_t i = 0; i < n; ++i) {
+    const int off = train_batch_.offset(static_cast<int>(i));
+    const int m = train_batch_.rows(static_cast<int>(i));
+    double v = 0.0;
+    for (int r = 0; r < m; ++r) v += values(off + r, 0);
+    v /= static_cast<double>(m);
+    advantage[i] = returns[i] - v;
+    const double g = (v - returns[i]) / static_cast<double>(m) * inv_n;
+    for (int r = 0; r < m; ++r) dvalues_(off + r, 0) = g;
+    value_loss += 0.5 * advantage[i] * advantage[i];
+  }
+  critic_->BackwardBatch(dvalues_);
+
+  // Actor gradient: d/dlogits of -log pi(a) * A = (pi - onehot_a) * A.
+  const nn::Matrix& logits = actor_->EvaluateBatch(train_batch_);
+  dlogits_.Resize(train_batch_.total_rows(), 1);
+  for (size_t i = 0; i < n; ++i) {
+    const int off = train_batch_.offset(static_cast<int>(i));
+    const int m = train_batch_.rows(static_cast<int>(i));
+    const std::vector<double> pi = SoftmaxSlice(logits, off, m);
+    for (int r = 0; r < m; ++r) {
+      const double onehot = (r == sub_action[i]) ? 1.0 : 0.0;
+      dlogits_(off + r, 0) = (pi[r] - onehot) * advantage[i] * inv_n;
+    }
+    policy_loss +=
+        -std::log(std::max(pi[sub_action[i]], 1e-12)) * advantage[i];
+  }
+  actor_->BackwardBatch(dlogits_);
 
   critic_opt_->Step();
   actor_opt_->Step();
@@ -164,9 +185,7 @@ std::vector<double> ActorCriticAgent::Policy(const DispatchContext& context) {
   const std::vector<int> idx = state.FeasibleIndices();
   std::vector<double> out(context.options.size(), 0.0);
   if (idx.empty()) return out;
-  const SubFleetInputs in = BuildSubFleetInputs(
-      state, idx, config_.use_graph, config_.num_neighbors);
-  const std::vector<double> pi = PolicyOnSubFleet(in);
+  const std::vector<double> pi = PolicyOnSubFleet(state, idx);
   for (size_t i = 0; i < idx.size(); ++i) out[idx[i]] = pi[i];
   return out;
 }

@@ -58,8 +58,10 @@ class ActorCriticAgent : public LearningDispatcher {
   };
 
   double InstantReward(const DispatchContext& context, int chosen) const;
-  /// Masked softmax over the feasible sub-fleet's actor logits.
-  std::vector<double> PolicyOnSubFleet(const SubFleetInputs& in);
+  /// Softmax over the feasible sub-fleet's actor logits (one EvaluateBatch
+  /// item built in act_batch_).
+  std::vector<double> PolicyOnSubFleet(const FleetState& state,
+                                       const std::vector<int>& idx);
   void TrainEpisode();
 
   AgentConfig config_;
@@ -69,6 +71,13 @@ class ActorCriticAgent : public LearningDispatcher {
   std::unique_ptr<FleetQNetwork> critic_;
   std::unique_ptr<nn::Adam> actor_opt_;
   std::unique_ptr<nn::Adam> critic_opt_;
+
+  /// Decision-time batch (storage reused per call).
+  DecisionBatch act_batch_;
+  /// Episode-wide training batch plus gradient columns.
+  DecisionBatch train_batch_;
+  nn::Matrix dvalues_;
+  nn::Matrix dlogits_;
 
   bool training_ = false;
   int episodes_trained_ = 0;

@@ -44,6 +44,10 @@ RlMetrics& Metrics() {
 struct DqnFleetAgent::WorkerNets {
   std::unique_ptr<FleetQNetwork> online;
   std::unique_ptr<FleetQNetwork> target;
+  /// Worker-local evaluation scratch; SubFleetQ runs concurrently on
+  /// worker nets, so the batch must not be shared with the agent.
+  DecisionBatch batch;
+  nn::Matrix dq;
   uint64_t synced_generation = 0;
 };
 
@@ -89,13 +93,15 @@ std::vector<int> DqnFleetAgent::InferenceIndices(
   return all;
 }
 
-std::vector<double> DqnFleetAgent::SubFleetQ(const FleetState& state,
-                                             FleetQNetwork* net,
-                                             const std::vector<int>& idx) const {
+const nn::Matrix& DqnFleetAgent::SubFleetQ(const FleetState& state,
+                                           FleetQNetwork* net,
+                                           const std::vector<int>& idx,
+                                           DecisionBatch* batch) const {
   DPDP_TRACE_SPAN("rl.q_forward");
-  const SubFleetInputs in = BuildSubFleetInputs(
-      state, idx, config_.use_graph, config_.num_neighbors);
-  return net->Forward(in.features, in.adjacency);
+  batch->Clear();
+  AppendSubFleetInputs(state, idx, config_.use_graph, config_.num_neighbors,
+                       batch);
+  return net->EvaluateBatch(*batch);
 }
 
 int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
@@ -108,21 +114,22 @@ int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
     action = feasible[rng_.UniformInt(static_cast<int>(feasible.size()))];
   } else {
     const std::vector<int> idx = InferenceIndices(state);
-    const std::vector<double> q = SubFleetQ(state, online_.get(), idx);
+    const nn::Matrix& q = SubFleetQ(state, online_.get(), idx, &act_batch_);
     // Argmax restricted to feasible vehicles (infeasible ones keep the
     // paper's "extremely small negative" Q).
     int best = -1;
     double best_q = -std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < idx.size(); ++i) {
       if (!state.feasible[idx[i]]) continue;
-      if (!std::isfinite(q[i])) {
+      const double qi = q(static_cast<int>(i), 0);
+      if (!std::isfinite(qi)) {
         // Poisoned network (NaN/Inf score for a feasible vehicle): refuse
         // the whole decision so the simulator's greedy fallback takes over
         // instead of argmax silently comparing garbage.
         return -1;
       }
-      if (q[i] > best_q) {
-        best_q = q[i];
+      if (qi > best_q) {
+        best_q = qi;
         best = idx[i];
       }
     }
@@ -239,20 +246,21 @@ TrainingStats DqnFleetAgent::Stats() const {
 }
 
 double DqnFleetAgent::TdTarget(const Transition& t, FleetQNetwork* online_net,
-                               FleetQNetwork* target_net) const {
+                               FleetQNetwork* target_net,
+                               DecisionBatch* batch) const {
   double y = t.reward;
   if (t.terminal || t.next_state.empty()) return y;
   const FleetState next = t.next_state.ToFleetState();
   if (next.NumFeasible() == 0) return y;
 
   const std::vector<int> next_idx = InferenceIndices(next);
-  auto feasible_max = [&](const std::vector<double>& q) {
+  auto feasible_max = [&](const nn::Matrix& q) {
     int best = -1;
     double best_q = -std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < next_idx.size(); ++i) {
       if (!next.feasible[next_idx[i]]) continue;
-      if (q[i] > best_q) {
-        best_q = q[i];
+      if (q(static_cast<int>(i), 0) > best_q) {
+        best_q = q(static_cast<int>(i), 0);
         best = static_cast<int>(i);
       }
     }
@@ -260,23 +268,25 @@ double DqnFleetAgent::TdTarget(const Transition& t, FleetQNetwork* online_net,
   };
   double next_value = 0.0;
   if (config_.double_dqn) {
-    // Double DQN: argmax from the online net, value from the target.
-    const std::vector<double> qo = SubFleetQ(next, online_net, next_idx);
-    const int best = feasible_max(qo);
-    const std::vector<double> qt = SubFleetQ(next, target_net, next_idx);
-    next_value = qt[best];
+    // Double DQN: argmax from the online net, value from the target. The
+    // argmax is taken before the target evaluation so a shared underlying
+    // buffer could never be a hazard (distinct nets today, but cheap
+    // insurance).
+    const int best = feasible_max(SubFleetQ(next, online_net, next_idx,
+                                            batch));
+    const nn::Matrix& qt = SubFleetQ(next, target_net, next_idx, batch);
+    next_value = qt(best, 0);
   } else {
-    const std::vector<double> qt = SubFleetQ(next, target_net, next_idx);
-    next_value = qt[feasible_max(qt)];
+    const nn::Matrix& qt = SubFleetQ(next, target_net, next_idx, batch);
+    next_value = qt(feasible_max(qt), 0);
   }
   return y + config_.gamma * next_value;
 }
 
-double DqnFleetAgent::AccumulateTransitionGradient(const Transition& t,
-                                                   FleetQNetwork* online_net,
-                                                   FleetQNetwork* target_net,
-                                                   double inv_batch) const {
-  const double y = TdTarget(t, online_net, target_net);
+double DqnFleetAgent::AccumulateTransitionGradient(
+    const Transition& t, FleetQNetwork* online_net, FleetQNetwork* target_net,
+    double inv_batch, DecisionBatch* batch, nn::Matrix* dq) const {
+  const double y = TdTarget(t, online_net, target_net, batch);
 
   const FleetState state = t.state.ToFleetState();
   const std::vector<int> idx = InferenceIndices(state);
@@ -284,14 +294,16 @@ double DqnFleetAgent::AccumulateTransitionGradient(const Transition& t,
   DPDP_CHECK(it != idx.end());
   const int sub_action = static_cast<int>(it - idx.begin());
 
-  const std::vector<double> q = SubFleetQ(state, online_net, idx);
-  std::vector<double> dq(q.size(), 0.0);
-  dq[sub_action] = nn::HuberLossGrad(q[sub_action], y) * inv_batch;
+  const nn::Matrix& q = SubFleetQ(state, online_net, idx, batch);
+  const double q_sa = q(sub_action, 0);
+  dq->Resize(q.rows(), 1);
+  dq->Fill(0.0);
+  (*dq)(sub_action, 0) = nn::HuberLossGrad(q_sa, y) * inv_batch;
   {
     DPDP_TRACE_SPAN("rl.q_backward");
-    online_net->Backward(dq);
+    online_net->BackwardBatch(*dq);
   }
-  return nn::HuberLoss(q[sub_action], y);
+  return nn::HuberLoss(q_sa, y);
 }
 
 void DqnFleetAgent::TrainBatch() {
@@ -313,12 +325,91 @@ void DqnFleetAgent::TrainBatch() {
     return;
   }
 
+  // Serial path, fully batched: every transition's next-state sub-fleet is
+  // scored in one EvaluateBatch per network, then every state sub-fleet in
+  // one more, with a single backward. Rows of a stacked batch are
+  // independent (block-diagonal masks), so each TD target is bit-identical
+  // to the per-transition evaluation.
+  const int n = static_cast<int>(batch.size());
+  const double inv_batch = 1.0 / static_cast<double>(n);
+
+  // Phase 1: batched (double-)DQN targets.
+  std::vector<double> y(n, 0.0);
+  std::vector<int> next_item(n, -1);
+  std::vector<FleetState> next_states(n);
+  std::vector<std::vector<int>> next_idx(n);
+  next_batch_.Clear();
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[i];
+    y[i] = t.reward;
+    if (t.terminal || t.next_state.empty()) continue;
+    next_states[i] = t.next_state.ToFleetState();
+    if (next_states[i].NumFeasible() == 0) continue;
+    next_idx[i] = InferenceIndices(next_states[i]);
+    next_item[i] = AppendSubFleetInputs(next_states[i], next_idx[i],
+                                        config_.use_graph,
+                                        config_.num_neighbors, &next_batch_);
+  }
+  if (next_batch_.num_items() > 0) {
+    auto feasible_max = [&](const nn::Matrix& q, int i) {
+      const int off = next_batch_.offset(next_item[i]);
+      int best = -1;
+      double best_q = -std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < next_idx[i].size(); ++r) {
+        if (!next_states[i].feasible[next_idx[i][r]]) continue;
+        const double qr = q(off + static_cast<int>(r), 0);
+        if (qr > best_q) {
+          best_q = qr;
+          best = static_cast<int>(r);
+        }
+      }
+      return best;
+    };
+    std::vector<int> best_next(n, -1);
+    if (config_.double_dqn) {
+      // Argmaxes must be pulled out of the online result before the target
+      // evaluation reuses any buffers.
+      const nn::Matrix& qo = online_->EvaluateBatch(next_batch_);
+      for (int i = 0; i < n; ++i) {
+        if (next_item[i] >= 0) best_next[i] = feasible_max(qo, i);
+      }
+    }
+    const nn::Matrix& qt = target_->EvaluateBatch(next_batch_);
+    for (int i = 0; i < n; ++i) {
+      if (next_item[i] < 0) continue;
+      const int best =
+          config_.double_dqn ? best_next[i] : feasible_max(qt, i);
+      y[i] += config_.gamma *
+              qt(next_batch_.offset(next_item[i]) + best, 0);
+    }
+  }
+
+  // Phase 2: one stacked forward over the minibatch states, one backward.
+  state_batch_.Clear();
+  std::vector<int> sub_action(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[i];
+    const FleetState state = t.state.ToFleetState();
+    const std::vector<int> idx = InferenceIndices(state);
+    const auto it = std::find(idx.begin(), idx.end(), t.action);
+    DPDP_CHECK(it != idx.end());
+    sub_action[i] = static_cast<int>(it - idx.begin());
+    AppendSubFleetInputs(state, idx, config_.use_graph,
+                         config_.num_neighbors, &state_batch_);
+  }
+  const nn::Matrix& q = online_->EvaluateBatch(state_batch_);
+  dq_.Resize(q.rows(), 1);
+  dq_.Fill(0.0);
   double loss_sum = 0.0;
-  const double inv_batch = 1.0 / static_cast<double>(batch.size());
-  for (const Transition* t : batch) {
-    loss_sum +=
-        AccumulateTransitionGradient(*t, online_.get(), target_.get(),
-                                     inv_batch);
+  for (int i = 0; i < n; ++i) {
+    const int row = state_batch_.offset(i) + sub_action[i];
+    const double q_sa = q(row, 0);
+    dq_(row, 0) = nn::HuberLossGrad(q_sa, y[i]) * inv_batch;
+    loss_sum += nn::HuberLoss(q_sa, y[i]);
+  }
+  {
+    DPDP_TRACE_SPAN("rl.q_backward");
+    online_->BackwardBatch(dq_);
   }
   optimizer_->Step();
   last_loss_ = loss_sum * inv_batch;
@@ -375,7 +466,8 @@ void DqnFleetAgent::TrainBatchParallel(
   pool->ParallelFor(static_cast<int>(batch.size()), [&](int i) {
     std::unique_ptr<WorkerNets> nets = AcquireWorkerNets();
     results[i].loss = AccumulateTransitionGradient(
-        *batch[i], nets->online.get(), nets->target.get(), inv_batch);
+        *batch[i], nets->online.get(), nets->target.get(), inv_batch,
+        &nets->batch, &nets->dq);
     for (nn::Parameter* p : nets->online->Params()) {
       results[i].grads.push_back(p->grad);
       p->ZeroGrad();
@@ -414,9 +506,9 @@ std::vector<double> DqnFleetAgent::QValues(const DispatchContext& context) {
   std::vector<double> out(context.options.size(),
                           -std::numeric_limits<double>::infinity());
   if (state.NumFeasible() == 0) return out;
-  const std::vector<double> q = SubFleetQ(state, online_.get(), idx);
+  const nn::Matrix& q = SubFleetQ(state, online_.get(), idx, &act_batch_);
   for (size_t i = 0; i < idx.size(); ++i) {
-    if (state.feasible[idx[i]]) out[idx[i]] = q[i];
+    if (state.feasible[idx[i]]) out[idx[i]] = q(static_cast<int>(i), 0);
   }
   return out;
 }

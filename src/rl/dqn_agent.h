@@ -97,22 +97,27 @@ class DqnFleetAgent : public LearningDispatcher {
   /// Vehicle rows the network scores: the feasible sub-fleet under
   /// constraint embedding, the whole fleet otherwise.
   std::vector<int> InferenceIndices(const FleetState& state) const;
-  /// Forward pass over the feasible sub-fleet; returns (sub-q-values,
-  /// feasible index list). Mutates only `net` (activation caches), so
-  /// distinct nets may run concurrently.
-  std::vector<double> SubFleetQ(const FleetState& state, FleetQNetwork* net,
-                                const std::vector<int>& idx) const;
+  /// One-item forward pass over the feasible sub-fleet via `batch`
+  /// (cleared and rebuilt). Returns the Q column, row i = Q(idx[i]); the
+  /// reference lives in `net`. Mutates only `net` and `batch`, so distinct
+  /// net/batch pairs may run concurrently.
+  const nn::Matrix& SubFleetQ(const FleetState& state, FleetQNetwork* net,
+                              const std::vector<int>& idx,
+                              DecisionBatch* batch) const;
   /// The (double-)DQN target y for one transition, computed on the given
-  /// online/target networks.
+  /// online/target networks with `batch` as scratch (parallel path; the
+  /// serial path batches its targets inside TrainBatch).
   double TdTarget(const Transition& t, FleetQNetwork* online_net,
-                  FleetQNetwork* target_net) const;
+                  FleetQNetwork* target_net, DecisionBatch* batch) const;
   /// Runs forward + backward for one transition on `online_net`
   /// (accumulating the dq * inv_batch gradient into its parameters) and
-  /// returns the Huber loss of the TD error.
+  /// returns the Huber loss of the TD error. `batch`/`dq` are caller
+  /// scratch (worker-local in the parallel path).
   double AccumulateTransitionGradient(const Transition& t,
                                       FleetQNetwork* online_net,
                                       FleetQNetwork* target_net,
-                                      double inv_batch) const;
+                                      double inv_batch, DecisionBatch* batch,
+                                      nn::Matrix* dq) const;
   void TrainBatch();
   void TrainBatchParallel(const std::vector<const Transition*>& batch);
   /// Checks a WorkerNets out of the cache (creating/syncing on demand)
@@ -127,6 +132,16 @@ class DqnFleetAgent : public LearningDispatcher {
   std::unique_ptr<FleetQNetwork> target_;
   std::unique_ptr<nn::Adam> optimizer_;
   ReplayBuffer replay_;
+
+  /// Decision-time batch, rebuilt per ChooseVehicle/QValues call on the
+  /// simulation thread (storage reused, so the steady-state decision path
+  /// does not allocate).
+  DecisionBatch act_batch_;
+  /// Serial-TrainBatch scratch: next-state and state batches spanning the
+  /// whole minibatch, plus the dq column.
+  DecisionBatch next_batch_;
+  DecisionBatch state_batch_;
+  nn::Matrix dq_;
 
   bool training_ = false;
   double epsilon_;

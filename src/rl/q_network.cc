@@ -1,37 +1,110 @@
 #include "rl/q_network.h"
 
+#include "obs/trace.h"
 #include "rl/state.h"
 
 namespace dpdp {
-namespace {
 
-nn::Matrix ColumnFromVector(const std::vector<double>& v) {
-  nn::Matrix m(static_cast<int>(v.size()), 1);
-  for (size_t i = 0; i < v.size(); ++i) m(static_cast<int>(i), 0) = v[i];
-  return m;
+void DecisionBatch::Clear() {
+  num_items_ = 0;
+  offsets_.resize(1);
+  features_.Resize(0, features_.cols());
+  row_spans_.clear();
+  adjacency_dirty_ = true;
 }
 
-std::vector<double> VectorFromColumn(const nn::Matrix& m) {
-  DPDP_CHECK(m.cols() == 1);
-  std::vector<double> v(m.rows());
-  for (int i = 0; i < m.rows(); ++i) v[i] = m(i, 0);
-  return v;
+int DecisionBatch::AddItem(int rows, int cols) {
+  DPDP_CHECK(rows >= 0 && cols > 0);
+  DPDP_CHECK(features_.rows() == 0 || features_.cols() == cols);
+  const int item = num_items_;
+  const int begin = offsets_[item];
+  features_.Resize(begin + rows, cols);
+  offsets_.push_back(begin + rows);
+  row_spans_.insert(row_spans_.end(), static_cast<size_t>(rows),
+                    {begin, begin + rows});
+  if (item < static_cast<int>(adjacencies_.size())) {
+    adjacencies_[item].Resize(rows, rows);
+    adjacencies_[item].Fill(0.0);
+  } else {
+    adjacencies_.emplace_back(rows, rows);
+  }
+  ++num_items_;
+  adjacency_dirty_ = true;
+  return item;
 }
 
-}  // namespace
+int DecisionBatch::Add(const nn::Matrix& features,
+                       const nn::Matrix& adjacency) {
+  DPDP_CHECK(adjacency.empty() || (adjacency.rows() == features.rows() &&
+                                   adjacency.cols() == features.rows()));
+  const int item = AddItem(features.rows(), features.cols());
+  const int begin = offset(item);
+  for (int r = 0; r < features.rows(); ++r) {
+    for (int c = 0; c < features.cols(); ++c) {
+      features_(begin + r, c) = features(r, c);
+    }
+  }
+  if (!adjacency.empty()) adjacencies_[item] = adjacency;
+  return item;
+}
+
+nn::Matrix& DecisionBatch::mutable_adjacency(int item) {
+  DPDP_CHECK(item >= 0 && item < num_items_);
+  adjacency_dirty_ = true;
+  return adjacencies_[item];
+}
+
+const nn::Matrix& DecisionBatch::adjacency() const {
+  if (adjacency_dirty_) {
+    const int total = total_rows();
+    block_adjacency_.Resize(total, total);
+    block_adjacency_.Fill(0.0);
+    for (int i = 0; i < num_items_; ++i) {
+      const nn::Matrix& a = adjacencies_[i];
+      const int begin = offsets_[i];
+      const int m = rows(i);
+      DPDP_CHECK(a.rows() == m && a.cols() == m);
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < m; ++c) {
+          block_adjacency_(begin + r, begin + c) = a(r, c);
+        }
+      }
+    }
+    adjacency_dirty_ = false;
+  }
+  return block_adjacency_;
+}
+
+std::vector<double> FleetQNetwork::Forward(const nn::Matrix& features,
+                                           const nn::Matrix& adjacency) {
+  shim_batch_.Clear();
+  shim_batch_.Add(features, adjacency);
+  const nn::Matrix& q = EvaluateBatch(shim_batch_);
+  std::vector<double> out(static_cast<size_t>(q.rows()));
+  for (int i = 0; i < q.rows(); ++i) out[i] = q(i, 0);
+  return out;
+}
+
+void FleetQNetwork::Backward(const std::vector<double>& dq) {
+  shim_dq_.Resize(static_cast<int>(dq.size()), 1);
+  for (size_t i = 0; i < dq.size(); ++i) {
+    shim_dq_(static_cast<int>(i), 0) = dq[i];
+  }
+  BackwardBatch(shim_dq_);
+}
 
 MlpQNetwork::MlpQNetwork(const AgentConfig& config, Rng* rng)
     : mlp_({kStateFeatures, config.hidden_dim, config.hidden_dim, 1},
            nn::Activation::kReLU, rng) {}
 
-std::vector<double> MlpQNetwork::Forward(const nn::Matrix& features,
-                                         const nn::Matrix& adjacency) {
-  (void)adjacency;  // No relational structure in the factorized MLP.
-  return VectorFromColumn(mlp_.Forward(features));
+const nn::Matrix& MlpQNetwork::EvaluateBatch(const DecisionBatch& batch) {
+  DPDP_TRACE_SPAN("nn.forward");
+  return mlp_.Forward(batch.features(), ws_);
 }
 
-void MlpQNetwork::Backward(const std::vector<double>& dq) {
-  mlp_.Backward(ColumnFromVector(dq));
+void MlpQNetwork::BackwardBatch(const nn::Matrix& dq) {
+  DPDP_CHECK(dq.cols() == 1);
+  mlp_.Backward(dq, ws_);
 }
 
 std::vector<nn::Parameter*> MlpQNetwork::Params() { return mlp_.Params(); }
@@ -48,56 +121,65 @@ GraphQNetwork::GraphQNetwork(const AgentConfig& config, Rng* rng)
     attention_.emplace_back(config.hidden_dim, config.num_heads, rng);
   }
   relus_.resize(levels_);
+  dlevel_.resize(levels_ + 1);
+  level_.resize(levels_ + 1);
 }
 
-std::vector<double> GraphQNetwork::Forward(const nn::Matrix& features,
-                                           const nn::Matrix& adjacency) {
-  const int m = features.rows();
+const nn::Matrix& GraphQNetwork::EvaluateBatch(const DecisionBatch& batch) {
+  DPDP_TRACE_SPAN("nn.forward");
+  const int m = batch.total_rows();
   const int d = encoder_.out_dim();
-  level_outputs_.clear();
-  level_outputs_.push_back(encoder_.Forward(features));  // Level 0.
+  const nn::Matrix& adjacency = batch.adjacency();
+
+  // The level outputs live in the layers' own buffers; each level has its
+  // own ReLU, so the references stay valid through concatenation.
+  level_[0] = &encoder_.Forward(batch.features(), ws_);
   for (int l = 0; l < levels_; ++l) {
-    level_outputs_.push_back(relus_[l].Forward(
-        attention_[l].Forward(level_outputs_.back(), adjacency)));
+    level_[l + 1] = &relus_[l].Forward(
+        attention_[l].Forward(*level_[l], adjacency, &batch.row_spans(),
+                              ws_),
+        ws_);
   }
   // Concatenate every level's representation (paper: initial + high-level
-  // representations are concatenated before the Q head).
-  nn::Matrix concat(m, d * (levels_ + 1));
+  // representations are concatenated before the Q head). Every entry is
+  // written, so the uninitialized Resize is safe.
+  concat_.Resize(m, d * (levels_ + 1));
   for (int l = 0; l <= levels_; ++l) {
+    const nn::Matrix& src = *level_[l];
     for (int r = 0; r < m; ++r) {
-      for (int c = 0; c < d; ++c) {
-        concat(r, l * d + c) = level_outputs_[l](r, c);
-      }
+      for (int c = 0; c < d; ++c) concat_(r, l * d + c) = src(r, c);
     }
   }
-  return VectorFromColumn(head_.Forward(concat));
+  forward_valid_ = true;
+  return head_.Forward(concat_, ws_);
 }
 
-void GraphQNetwork::Backward(const std::vector<double>& dq) {
-  DPDP_CHECK(!level_outputs_.empty());
-  const int m = static_cast<int>(dq.size());
+void GraphQNetwork::BackwardBatch(const nn::Matrix& dq) {
+  DPDP_CHECK(forward_valid_);
+  DPDP_CHECK(dq.cols() == 1);
+  const int m = dq.rows();
   const int d = encoder_.out_dim();
-  const nn::Matrix dconcat = head_.Backward(ColumnFromVector(dq));
+  const nn::Matrix& dconcat = head_.Backward(dq, ws_);
   DPDP_CHECK(dconcat.rows() == m && dconcat.cols() == d * (levels_ + 1));
 
   // Split the concat gradient back into per-level slices.
-  std::vector<nn::Matrix> dlevel(levels_ + 1);
   for (int l = 0; l <= levels_; ++l) {
-    dlevel[l] = nn::Matrix(m, d);
+    dlevel_[l].Resize(m, d);
     for (int r = 0; r < m; ++r) {
-      for (int c = 0; c < d; ++c) dlevel[l](r, c) = dconcat(r, l * d + c);
+      for (int c = 0; c < d; ++c) dlevel_[l](r, c) = dconcat(r, l * d + c);
     }
   }
   // Walk the attention stack backwards, folding in each level's direct
   // contribution from the concatenation.
-  nn::Matrix dh = dlevel[levels_];
+  const nn::Matrix* dh = &dlevel_[levels_];
   for (int l = levels_ - 1; l >= 0; --l) {
-    const nn::Matrix da = relus_[l].Backward(dh);
-    dh = attention_[l].Backward(da);
-    dh.AddInPlace(dlevel[l]);
+    const nn::Matrix& da = relus_[l].Backward(*dh, ws_);
+    dh_ = attention_[l].Backward(da, ws_);
+    dh_.AddInPlace(dlevel_[l]);
+    dh = &dh_;
   }
-  encoder_.Backward(dh);
-  level_outputs_.clear();
+  encoder_.Backward(*dh, ws_);
+  forward_valid_ = false;
 }
 
 std::vector<nn::Parameter*> GraphQNetwork::Params() {

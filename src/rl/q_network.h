@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/attention.h"
+#include "nn/gemm.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
 #include "rl/config.h"
@@ -12,52 +13,133 @@
 
 namespace dpdp {
 
-/// Per-fleet Q-value network. A forward pass scores the *feasible
-/// sub-fleet* (constraint embedding has already removed infeasible
-/// vehicles): `features` is (M x kStateFeatures) and `adjacency` (M x M).
-/// Returns one Q-value per row.
+/// A batch of candidate decision items for one Q-network evaluation. Each
+/// item is a feasible sub-fleet: `rows(i)` feature rows (one per candidate
+/// vehicle) plus an optional per-item adjacency. Items are stacked into a
+/// single feature matrix so the network scores every candidate of every
+/// item in ONE forward pass; the per-item adjacencies are assembled lazily
+/// into a block-diagonal mask, which makes the relational nets' attention
+/// numerics bit-identical to evaluating each item alone (masked rows never
+/// see other blocks).
 ///
-/// Backward must follow the corresponding Forward (single-sample training,
-/// gradients accumulate across samples until the optimizer steps).
+/// All storage is reused across Clear() cycles, so a caller that keeps one
+/// DecisionBatch alive builds batches with no steady-state heap traffic.
+class DecisionBatch {
+ public:
+  /// Drops all items; capacity is retained.
+  void Clear();
+
+  /// Appends an item by copying `features` (rows x feature_dim) and
+  /// `adjacency` (rows x rows, or empty for non-relational nets). Returns
+  /// the item index.
+  int Add(const nn::Matrix& features, const nn::Matrix& adjacency);
+  int Add(const nn::Matrix& features) { return Add(features, nn::Matrix()); }
+
+  /// Opens an item of `rows` x `cols` UNINITIALIZED feature rows (write
+  /// them via mutable_features(), global rows [offset(i), offset(i) +
+  /// rows(i))) and a zeroed rows x rows adjacency. Returns the item index.
+  int AddItem(int rows, int cols);
+
+  /// Stacked feature storage; only rows of already-added items may be
+  /// written.
+  nn::Matrix& mutable_features() { return features_; }
+
+  /// The item's rows(i) x rows(i) adjacency block, zeroed at AddItem.
+  nn::Matrix& mutable_adjacency(int item);
+
+  int num_items() const { return num_items_; }
+  int total_rows() const { return offsets_[num_items_]; }
+  int offset(int item) const { return offsets_[item]; }
+  int rows(int item) const {
+    return offsets_[item + 1] - offsets_[item];
+  }
+
+  /// Stacked features, (total_rows x feature_dim).
+  const nn::Matrix& features() const { return features_; }
+
+  /// Block-diagonal adjacency over all items, (total_rows x total_rows),
+  /// assembled on first use after a mutation. Every item must carry an
+  /// adjacency of its own row count.
+  const nn::Matrix& adjacency() const;
+
+  /// Per-row attention windows: row r of item i gets [offset(i),
+  /// offset(i) + rows(i)). Hands the block structure to the attention
+  /// layers so a batched pass costs the sum of per-block costs rather
+  /// than (total_rows)^2.
+  const nn::MultiHeadSelfAttention::RowSpans& row_spans() const {
+    return row_spans_;
+  }
+
+ private:
+  nn::Matrix features_;            ///< Stacked item features.
+  std::vector<int> offsets_ = {0};  ///< Row offsets; size num_items_ + 1.
+  std::vector<nn::Matrix> adjacencies_;  ///< Reused per-item blocks.
+  nn::MultiHeadSelfAttention::RowSpans row_spans_;
+  int num_items_ = 0;
+
+  mutable nn::Matrix block_adjacency_;
+  mutable bool adjacency_dirty_ = true;
+};
+
+/// Per-fleet Q-value network. EvaluateBatch scores every candidate row of
+/// every item of a DecisionBatch (constraint embedding has already removed
+/// infeasible vehicles) in one forward pass and returns a (total_rows x 1)
+/// column of Q-values; the reference stays valid until the network's next
+/// Evaluate/Backward call.
+///
+/// BackwardBatch must follow the corresponding EvaluateBatch (gradients
+/// accumulate across calls until the optimizer steps).
 class FleetQNetwork {
  public:
   virtual ~FleetQNetwork() = default;
 
-  virtual std::vector<double> Forward(const nn::Matrix& features,
-                                      const nn::Matrix& adjacency) = 0;
+  virtual const nn::Matrix& EvaluateBatch(const DecisionBatch& batch) = 0;
 
-  /// dq: gradient of the loss w.r.t. each output Q (usually one-hot at the
-  /// chosen vehicle).
-  virtual void Backward(const std::vector<double>& dq) = 0;
+  /// dq: (total_rows x 1) gradient of the loss w.r.t. each output Q
+  /// (usually one-hot at the chosen vehicle).
+  virtual void BackwardBatch(const nn::Matrix& dq) = 0;
 
   virtual std::vector<nn::Parameter*> Params() = 0;
+
+  /// Single-item compatibility shims over EvaluateBatch/BackwardBatch.
+  /// Kept for one PR; new code should batch its candidates.
+  [[deprecated("use EvaluateBatch(DecisionBatch) instead")]]
+  std::vector<double> Forward(const nn::Matrix& features,
+                              const nn::Matrix& adjacency);
+  [[deprecated("use BackwardBatch(dq column) instead")]]
+  void Backward(const std::vector<double>& dq);
+
+ private:
+  DecisionBatch shim_batch_;   ///< Scratch for the deprecated shims.
+  nn::Matrix shim_dq_;
 };
 
 /// Factorized per-vehicle MLP without relational structure (the DQN /
-/// DDQN / ST-DDQN ablations). Shared weights across vehicles = rows.
+/// DDQN / ST-DDQN ablations). Shared weights across vehicles = rows, so a
+/// stacked batch is just a taller input matrix.
 class MlpQNetwork : public FleetQNetwork {
  public:
   MlpQNetwork(const AgentConfig& config, Rng* rng);
 
-  std::vector<double> Forward(const nn::Matrix& features,
-                              const nn::Matrix& adjacency) override;
-  void Backward(const std::vector<double>& dq) override;
+  const nn::Matrix& EvaluateBatch(const DecisionBatch& batch) override;
+  void BackwardBatch(const nn::Matrix& dq) override;
   std::vector<nn::Parameter*> Params() override;
 
  private:
   nn::Mlp mlp_;
+  nn::Workspace ws_;
 };
 
 /// The DGN / DDGN / ST-DDGN network (paper Fig. 4): shared encoder MLP ->
 /// stacked neighborhood-attention blocks (with ReLU) -> concatenation of
-/// every level's representation -> Q head MLP.
+/// every level's representation -> Q head MLP. Batched items attend over
+/// the DecisionBatch's block-diagonal mask.
 class GraphQNetwork : public FleetQNetwork {
  public:
   GraphQNetwork(const AgentConfig& config, Rng* rng);
 
-  std::vector<double> Forward(const nn::Matrix& features,
-                              const nn::Matrix& adjacency) override;
-  void Backward(const std::vector<double>& dq) override;
+  const nn::Matrix& EvaluateBatch(const DecisionBatch& batch) override;
+  void BackwardBatch(const nn::Matrix& dq) override;
   std::vector<nn::Parameter*> Params() override;
 
  private:
@@ -66,7 +148,15 @@ class GraphQNetwork : public FleetQNetwork {
   std::vector<nn::MultiHeadSelfAttention> attention_;
   std::vector<nn::ReLU> relus_;
   nn::Mlp head_;
-  std::vector<nn::Matrix> level_outputs_;  // Forward cache (per level).
+  nn::Workspace ws_;
+
+  // Reused pass buffers. The level outputs themselves live in the layers'
+  // own buffers; only the concatenation and gradient slices need homes.
+  bool forward_valid_ = false;
+  std::vector<const nn::Matrix*> level_;  ///< Borrowed level outputs.
+  nn::Matrix concat_;
+  std::vector<nn::Matrix> dlevel_;
+  nn::Matrix dh_;
 };
 
 /// Builds the network variant selected by `config.use_graph`.

@@ -82,15 +82,45 @@ SubFleetInputs BuildSubFleetInputs(const FleetState& state,
   return out;
 }
 
+int AppendSubFleetInputs(const FleetState& state, const std::vector<int>& idx,
+                         bool use_graph, int num_neighbors,
+                         DecisionBatch* batch) {
+  const int m = static_cast<int>(idx.size());
+  const int item = batch->AddItem(m, kStateFeatures);
+  const int begin = batch->offset(item);
+  nn::Matrix& features = batch->mutable_features();
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < kStateFeatures; ++c) {
+      features(begin + r, c) = state.features(idx[r], c);
+    }
+  }
+  if (use_graph) {
+    nn::Matrix pos(m, 2);
+    for (int r = 0; r < m; ++r) {
+      pos(r, 0) = state.positions(idx[r], 0);
+      pos(r, 1) = state.positions(idx[r], 1);
+    }
+    FillNeighborAdjacency(pos, num_neighbors, &batch->mutable_adjacency(item));
+  }
+  return item;
+}
+
 nn::Matrix BuildNeighborAdjacency(const nn::Matrix& positions,
                                   int num_neighbors) {
+  nn::Matrix adj(positions.rows(), positions.rows());
+  FillNeighborAdjacency(positions, num_neighbors, &adj);
+  return adj;
+}
+
+void FillNeighborAdjacency(const nn::Matrix& positions, int num_neighbors,
+                           nn::Matrix* adj) {
   DPDP_CHECK(positions.cols() == 2);
   const int m = positions.rows();
-  nn::Matrix adj(m, m);
+  DPDP_CHECK(adj->rows() == m && adj->cols() == m);
   std::vector<std::pair<double, int>> dist;
   dist.reserve(m);
   for (int i = 0; i < m; ++i) {
-    adj(i, i) = 1.0;
+    (*adj)(i, i) = 1.0;
     if (num_neighbors <= 0) continue;
     dist.clear();
     for (int j = 0; j < m; ++j) {
@@ -101,9 +131,8 @@ nn::Matrix BuildNeighborAdjacency(const nn::Matrix& positions,
     }
     const int take = std::min<int>(num_neighbors, static_cast<int>(dist.size()));
     std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
-    for (int k = 0; k < take; ++k) adj(i, dist[k].second) = 1.0;
+    for (int k = 0; k < take; ++k) (*adj)(i, dist[k].second) = 1.0;
   }
-  return adj;
 }
 
 }  // namespace dpdp

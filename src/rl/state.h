@@ -6,6 +6,7 @@
 
 #include "nn/matrix.h"
 #include "rl/config.h"
+#include "rl/q_network.h"
 #include "sim/dispatcher.h"
 
 namespace dpdp {
@@ -57,6 +58,14 @@ SubFleetInputs BuildSubFleetInputs(const FleetState& state,
                                    const std::vector<int>& idx,
                                    bool use_graph, int num_neighbors);
 
+/// Appends the sub-fleet selection `idx` of `state` as one item of `batch`
+/// (features written in place; when `use_graph`, the nearest-neighbor
+/// adjacency is filled into the item's block). Returns the item index.
+/// The batched twin of BuildSubFleetInputs for the EvaluateBatch hot path.
+int AppendSubFleetInputs(const FleetState& state, const std::vector<int>& idx,
+                         bool use_graph, int num_neighbors,
+                         DecisionBatch* batch);
+
 /// Builds the {0,1} adjacency mask over the *feasible sub-fleet*: entry
 /// (i, j) = 1 when j is one of i's `num_neighbors` nearest feasible
 /// vehicles by Euclidean distance, or j == i (self-loops keep every
@@ -64,6 +73,11 @@ SubFleetInputs BuildSubFleetInputs(const FleetState& state,
 /// vehicles.
 nn::Matrix BuildNeighborAdjacency(const nn::Matrix& positions,
                                   int num_neighbors);
+
+/// In-place form of BuildNeighborAdjacency: writes the mask into `adj`,
+/// which must already be (M x M) and zeroed.
+void FillNeighborAdjacency(const nn::Matrix& positions, int num_neighbors,
+                           nn::Matrix* adj);
 
 }  // namespace dpdp
 

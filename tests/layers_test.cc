@@ -154,6 +154,67 @@ TEST(Mlp, GradientsMatchFiniteDifferencesTanh) {
   CheckParameterGradients(mlp.Params(), loss);
 }
 
+// --------------------------------------------------- Workspace overloads ----
+
+void ExpectBitEqual(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (int r = 0; r < got.rows(); ++r) {
+    for (int c = 0; c < got.cols(); ++c) ASSERT_EQ(got(r, c), want(r, c));
+  }
+}
+
+TEST(Linear, WorkspaceOverloadBitEqualToValueOverload) {
+  // The value overloads are thin copies over the Workspace path, so both
+  // must produce identical bits for Forward and Backward.
+  Rng rng(20);
+  Linear a(4, 3, &rng);
+  Linear b(4, 3, &rng);
+  CopyParameters(a.Params(), b.Params());
+  const Matrix x = RandomMatrix(6, 4, &rng);
+  const Matrix dy = RandomMatrix(6, 3, &rng);
+  Workspace ws;
+  const Matrix& y_ws = a.Forward(x, ws);
+  const Matrix y_val = b.Forward(x);
+  ExpectBitEqual(y_ws, y_val);
+  const Matrix& dx_ws = a.Backward(dy, ws);
+  const Matrix dx_val = b.Backward(dy);
+  ExpectBitEqual(dx_ws, dx_val);
+  ExpectBitEqual(a.Params()[0]->grad, b.Params()[0]->grad);
+  ExpectBitEqual(a.Params()[1]->grad, b.Params()[1]->grad);
+}
+
+TEST(Mlp, WorkspaceOverloadBitEqualToValueOverload) {
+  Rng rng(21);
+  Mlp a({3, 8, 8, 2}, Activation::kReLU, &rng);
+  Mlp b({3, 8, 8, 2}, Activation::kReLU, &rng);
+  CopyParameters(a.Params(), b.Params());
+  const Matrix x = RandomMatrix(5, 3, &rng);
+  const Matrix dy = RandomMatrix(5, 2, &rng);
+  Workspace ws;
+  const Matrix& y_ws = a.Forward(x, ws);
+  const Matrix y_val = b.Forward(x);
+  ExpectBitEqual(y_ws, y_val);
+  const Matrix& dx_ws = a.Backward(dy, ws);
+  const Matrix dx_val = b.Backward(dy);
+  ExpectBitEqual(dx_ws, dx_val);
+}
+
+TEST(Mlp, WorkspaceReuseAcrossBatchSizesIsStable) {
+  // One Mlp + one Workspace driven across shrinking/growing batches: the
+  // layer-owned buffers are resized without zeroing, so results must still
+  // match a fresh evaluation at every size.
+  Rng rng(22);
+  Mlp net({4, 8, 1}, Activation::kReLU, &rng);
+  Mlp fresh({4, 8, 1}, Activation::kReLU, &rng);
+  CopyParameters(net.Params(), fresh.Params());
+  Workspace ws;
+  for (int batch : {7, 2, 9, 1, 5}) {
+    const Matrix x = RandomMatrix(batch, 4, &rng);
+    ExpectBitEqual(net.Forward(x, ws), fresh.Forward(x));
+  }
+}
+
 // ---------------------------------------------------- Parameter helpers ----
 
 TEST(Parameters, CopyAndSoftUpdate) {

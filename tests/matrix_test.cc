@@ -109,6 +109,43 @@ TEST(Matrix, Norms) {
   EXPECT_DOUBLE_EQ(a.MaxAll(), 4.0);
 }
 
+TEST(Matrix, ResizeKeepsBackingStoreAndSkipsZeroing) {
+  Matrix m(4, 4, 7.0);
+  const double* before = m.data();
+  m.Resize(2, 4);  // Shrink: no reallocation, prefix preserved (same cols).
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 4);
+  for (int c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(0, c), 7.0);
+  m.Resize(4, 4);  // Grow back within capacity: still no reallocation.
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.size(), 16);
+}
+
+TEST(Matrix, ReserveFrontLoadsAllocationWithoutChangingShape) {
+  Matrix m(2, 2, 1.0);
+  m.Reserve(50, 50);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+  const double* reserved = m.data();
+  m.Resize(50, 50);  // Must not reallocate after the Reserve.
+  EXPECT_EQ(m.data(), reserved);
+}
+
+TEST(Matrix, ShrinkingResizeBoundsWholeMatrixOps) {
+  // After a shrinking Resize the backing store still holds stale elements
+  // past size(); whole-matrix reductions must ignore them.
+  Matrix m(3, 2, 5.0);
+  m.Resize(1, 2);
+  EXPECT_DOUBLE_EQ(m.SumAll(), 10.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), std::sqrt(50.0));
+  m.Fill(0.0);
+  m.Resize(3, 2);
+  // Re-grown region is unspecified; only shape is guaranteed.
+  EXPECT_EQ(m.size(), 6);
+}
+
 TEST(Matrix, AllCloseShapeMismatchIsFalse) {
   EXPECT_FALSE(Matrix(1, 2).AllClose(Matrix(2, 1)));
 }
