@@ -231,8 +231,9 @@ BENCHMARK(BM_GraphQForward)->Arg(10)->Arg(30)->Arg(75)->Arg(150);
 // Builds `items` feasible sub-fleets of 30 vehicles each as one
 // DecisionBatch (block-diagonal adjacency) and scores them in a single
 // forward pass. Compare against BM_QForwardLooped, which walks the same
-// items through the legacy one-item-at-a-time Forward shim. allocs_per_op
-// must read 0: the decision hot path reuses every buffer in steady state.
+// items one one-item DecisionBatch at a time (the unbatched decision
+// loop). allocs_per_op must read 0: the decision hot path reuses every
+// buffer in steady state.
 void MakeSubFleetItem(dpdp::Rng* rng, int m, int num_neighbors,
                       dpdp::nn::Matrix* features, dpdp::nn::Matrix* adj) {
   *features = dpdp::nn::Matrix(m, dpdp::kStateFeatures);
@@ -272,29 +273,32 @@ void BM_EvaluateBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateBatch)->Arg(1)->Arg(8)->Arg(32);
 
-// The pre-batching decision loop: one deprecated Forward call per item.
+// The unbatched decision loop: one one-item DecisionBatch evaluation per
+// item, exactly like N independent agents each deciding alone.
 void BM_QForwardLooped(benchmark::State& state) {
   const int items = static_cast<int>(state.range(0));
   const int m = 30;
   dpdp::Rng rng(5);
   dpdp::AgentConfig config = dpdp::MakeStDdgnConfig(1);
   dpdp::GraphQNetwork net(config, &rng);
-  std::vector<dpdp::nn::Matrix> features(items);
-  std::vector<dpdp::nn::Matrix> adj(items);
+  std::vector<dpdp::DecisionBatch> batches(items);
   for (int i = 0; i < items; ++i) {
-    MakeSubFleetItem(&rng, m, config.num_neighbors, &features[i], &adj[i]);
+    dpdp::nn::Matrix features;
+    dpdp::nn::Matrix adj;
+    MakeSubFleetItem(&rng, m, config.num_neighbors, &features, &adj);
+    batches[i].Add(features, adj);
   }
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  net.EvaluateBatch(batches[0]);  // Warm the activation caches.
+  const long long before = AllocCount();
   for (auto _ : state) {
     for (int i = 0; i < items; ++i) {
-      benchmark::DoNotOptimize(net.Forward(features[i], adj[i]));
+      benchmark::DoNotOptimize(net.EvaluateBatch(batches[i]));
     }
   }
-#pragma GCC diagnostic pop
+  ReportAllocs(state, before);
   state.SetItemsProcessed(state.iterations() * items);
   state.SetLabel(std::to_string(items) + " decisions x " +
-                 std::to_string(m) + " vehicles, legacy shim");
+                 std::to_string(m) + " vehicles, one-item batches");
 }
 BENCHMARK(BM_QForwardLooped)->Arg(8)->Arg(32);
 

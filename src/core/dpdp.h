@@ -28,6 +28,7 @@
 ///   baselines/ greedy dispatch heuristics (Baselines 1-3)
 ///   rl/      DQN/DDQN/AC/DGN/ST-DDGN agents (Algorithm 3)
 ///   exact/   branch-and-bound optimal PDP solver
+///   serve/   online dispatch service (micro-batching, hot-swap, shedding)
 ///   exp/     experiment harness shared by the bench binaries
 
 #include "baselines/greedy_baselines.h"
@@ -46,11 +47,16 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rl/actor_critic.h"
+#include "rl/checkpoint.h"
 #include "rl/config.h"
 #include "rl/dqn_agent.h"
 #include "rl/trainer.h"
 #include "routing/local_search.h"
 #include "routing/route_planner.h"
+#include "serve/dispatch_service.h"
+#include "serve/load_generator.h"
+#include "serve/model_server.h"
+#include "serve/service_dispatcher.h"
 #include "sim/dispatcher.h"
 #include "sim/simulator.h"
 #include "stpred/divergence.h"

@@ -190,6 +190,30 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+double HistogramQuantile(const MetricSnapshot& snapshot, double q) {
+  if (snapshot.kind != MetricSnapshot::Kind::kHistogram ||
+      snapshot.count == 0 || snapshot.buckets.empty()) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(snapshot.buckets[i]);
+    if (cumulative + in_bucket < target || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= snapshot.bounds.size()) break;  // Overflow: clamp below.
+    const double lo = i == 0 ? 0.0 : snapshot.bounds[i - 1];
+    const double hi = snapshot.bounds[i];
+    const double frac = (target - cumulative) / in_bucket;
+    return lo + frac * (hi - lo);
+  }
+  return snapshot.bounds.back();
+}
+
 std::string SnapshotToCsv(const std::vector<MetricSnapshot>& snapshot) {
   std::ostringstream os;
   os << "name,kind,value,count,sum,buckets\n";

@@ -150,6 +150,14 @@ class MetricsRegistry {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Estimates the q-quantile (q in [0, 1]) of a histogram snapshot by
+/// linear interpolation inside the bucket holding the target rank. Exact
+/// only up to bucket resolution; samples in the overflow bucket clamp to
+/// the last bound. Returns 0 for empty histograms or non-histogram
+/// snapshots. This is how the serving layer turns its latency histograms
+/// into the reported p50/p95/p99.
+double HistogramQuantile(const MetricSnapshot& snapshot, double q);
+
 /// Serializes a snapshot. CSV columns: name,kind,value,count,sum,buckets
 /// (buckets as "le<bound>:<count>" pairs joined by ';'). JSON is a single
 /// object keyed by metric name.

@@ -17,24 +17,47 @@ namespace dpdp {
 ///   i32       episodes_done
 ///   u64       payload size in bytes
 ///   payload   agent blob (LearningDispatcher::SaveState)
+///   u64       seq — monotonic publication number (version >= 2)
 ///   u32       CRC32 over everything after the magic, up to here
 ///
 /// SaveCheckpoint is atomic: the bytes go to `path`.tmp, are flushed and
 /// fsync'd, then renamed over `path` — a crash mid-write leaves the
 /// previous checkpoint intact, and the CRC footer catches torn or
 /// bit-rotted files on load.
-constexpr uint32_t kCheckpointVersion = 1;
+///
+/// The seq footer exists for the serving watcher: a consumer polling a
+/// checkpoint directory orders files by seq (strictly monotonic per
+/// producer) instead of mtime, which is neither monotonic across clock
+/// steps nor meaningful after a copy/restore. Version-1 files (no seq
+/// field) are still readable; they report seq == episodes_done.
+constexpr uint32_t kCheckpointVersion = 2;
 
 /// Writes a checkpoint for `agent` after `episodes_done` completed
 /// episodes. Creates parent directories as needed. Must be called at an
 /// episode boundary (agents refuse to serialize mid-episode state).
+/// `seq` stamps the publication-order footer; 0 (the default) publishes
+/// with seq = episodes_done, which is already monotonic for the training
+/// loop's once-per-episode cadence.
 Status SaveCheckpoint(const std::string& path, int episodes_done,
-                      const LearningDispatcher& agent);
+                      const LearningDispatcher& agent, uint64_t seq = 0);
 
 /// Restores `agent` from `path` and returns the episodes_done recorded in
 /// the file. Corruption (bad magic, size, CRC) or an agent/architecture
 /// mismatch yields kInvalidArgument; a missing file yields kNotFound.
 Result<int> LoadCheckpoint(const std::string& path, LearningDispatcher* agent);
+
+/// Checkpoint metadata readable without an agent (and thus without
+/// deserializing the payload).
+struct CheckpointInfo {
+  int episodes_done = 0;
+  uint64_t seq = 0;  ///< episodes_done for version-1 files.
+};
+
+/// Validates `path` (magic, structure, CRC over the full body) and returns
+/// its footer metadata. This is the serve watcher's staleness probe: a
+/// partial or torn file fails the CRC here and is skipped without ever
+/// touching a network.
+Result<CheckpointInfo> ReadCheckpointInfo(const std::string& path);
 
 }  // namespace dpdp
 

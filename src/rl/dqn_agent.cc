@@ -85,14 +85,6 @@ double DqnFleetAgent::InstantReward(const DispatchContext& context,
           cfg.cost_per_km * opt.incremental_length);
 }
 
-std::vector<int> DqnFleetAgent::InferenceIndices(
-    const FleetState& state) const {
-  if (config_.use_constraint_embedding) return state.FeasibleIndices();
-  std::vector<int> all(state.num_vehicles());
-  for (int v = 0; v < state.num_vehicles(); ++v) all[v] = v;
-  return all;
-}
-
 const nn::Matrix& DqnFleetAgent::SubFleetQ(const FleetState& state,
                                            FleetQNetwork* net,
                                            const std::vector<int>& idx,
@@ -113,31 +105,18 @@ int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
   if (training_ && rng_.Bernoulli(epsilon_)) {
     action = feasible[rng_.UniformInt(static_cast<int>(feasible.size()))];
   } else {
-    const std::vector<int> idx = InferenceIndices(state);
+    const std::vector<int> idx = InferenceIndices(state, config_);
     const nn::Matrix& q = SubFleetQ(state, online_.get(), idx, &act_batch_);
     // Argmax restricted to feasible vehicles (infeasible ones keep the
-    // paper's "extremely small negative" Q).
-    int best = -1;
-    double best_q = -std::numeric_limits<double>::infinity();
-    for (size_t i = 0; i < idx.size(); ++i) {
-      if (!state.feasible[idx[i]]) continue;
-      const double qi = q(static_cast<int>(i), 0);
-      if (!std::isfinite(qi)) {
-        // Poisoned network (NaN/Inf score for a feasible vehicle): refuse
-        // the whole decision so the simulator's greedy fallback takes over
-        // instead of argmax silently comparing garbage.
-        return -1;
-      }
-      if (qi > best_q) {
-        best_q = qi;
-        best = idx[i];
-      }
-    }
-    DPDP_CHECK(best >= 0);
-    action = best;
+    // paper's "extremely small negative" Q). A non-finite feasible score
+    // refuses the whole decision (vehicle -1) so the simulator's greedy
+    // fallback takes over instead of argmax silently comparing garbage.
+    const GreedyQChoice choice = ArgmaxFeasibleQ(state, idx, q);
+    if (choice.vehicle < 0) return -1;
+    action = choice.vehicle;
     if (training_) {
-      q_sum_ += best_q;
-      q_max_ = q_count_ == 0 ? best_q : std::max(q_max_, best_q);
+      q_sum_ += choice.q;
+      q_max_ = q_count_ == 0 ? choice.q : std::max(q_max_, choice.q);
       ++q_count_;
     }
   }
@@ -253,7 +232,7 @@ double DqnFleetAgent::TdTarget(const Transition& t, FleetQNetwork* online_net,
   const FleetState next = t.next_state.ToFleetState();
   if (next.NumFeasible() == 0) return y;
 
-  const std::vector<int> next_idx = InferenceIndices(next);
+  const std::vector<int> next_idx = InferenceIndices(next, config_);
   auto feasible_max = [&](const nn::Matrix& q) {
     int best = -1;
     double best_q = -std::numeric_limits<double>::infinity();
@@ -289,7 +268,7 @@ double DqnFleetAgent::AccumulateTransitionGradient(
   const double y = TdTarget(t, online_net, target_net, batch);
 
   const FleetState state = t.state.ToFleetState();
-  const std::vector<int> idx = InferenceIndices(state);
+  const std::vector<int> idx = InferenceIndices(state, config_);
   const auto it = std::find(idx.begin(), idx.end(), t.action);
   DPDP_CHECK(it != idx.end());
   const int sub_action = static_cast<int>(it - idx.begin());
@@ -345,7 +324,7 @@ void DqnFleetAgent::TrainBatch() {
     if (t.terminal || t.next_state.empty()) continue;
     next_states[i] = t.next_state.ToFleetState();
     if (next_states[i].NumFeasible() == 0) continue;
-    next_idx[i] = InferenceIndices(next_states[i]);
+    next_idx[i] = InferenceIndices(next_states[i], config_);
     next_item[i] = AppendSubFleetInputs(next_states[i], next_idx[i],
                                         config_.use_graph,
                                         config_.num_neighbors, &next_batch_);
@@ -390,7 +369,7 @@ void DqnFleetAgent::TrainBatch() {
   for (int i = 0; i < n; ++i) {
     const Transition& t = *batch[i];
     const FleetState state = t.state.ToFleetState();
-    const std::vector<int> idx = InferenceIndices(state);
+    const std::vector<int> idx = InferenceIndices(state, config_);
     const auto it = std::find(idx.begin(), idx.end(), t.action);
     DPDP_CHECK(it != idx.end());
     sub_action[i] = static_cast<int>(it - idx.begin());
@@ -502,7 +481,7 @@ void DqnFleetAgent::FinalizeTraining() {
 
 std::vector<double> DqnFleetAgent::QValues(const DispatchContext& context) {
   const FleetState state = BuildFleetState(context, config_);
-  const std::vector<int> idx = InferenceIndices(state);
+  const std::vector<int> idx = InferenceIndices(state, config_);
   std::vector<double> out(context.options.size(),
                           -std::numeric_limits<double>::infinity());
   if (state.NumFeasible() == 0) return out;
@@ -515,6 +494,14 @@ std::vector<double> DqnFleetAgent::QValues(const DispatchContext& context) {
 
 void DqnFleetAgent::Save(std::ostream* os) {
   nn::SaveParameters(online_->Params(), os);
+}
+
+std::vector<nn::Matrix> DqnFleetAgent::ExportPolicyWeights() {
+  std::vector<nn::Matrix> weights;
+  for (const nn::Parameter* p : online_->Params()) {
+    weights.push_back(p->value);
+  }
+  return weights;
 }
 
 bool DqnFleetAgent::Load(std::istream* is) {

@@ -64,6 +64,12 @@ class DqnFleetAgent : public LearningDispatcher {
   void Save(std::ostream* os);
   bool Load(std::istream* is);
 
+  /// Copies the online (policy) parameter values, in Params() order. The
+  /// serving layer's snapshot source: a ModelServer materializes these into
+  /// an immutable weight set after restoring a checkpoint into a scratch
+  /// agent.
+  std::vector<nn::Matrix> ExportPolicyWeights();
+
   /// Full training-state checkpoint (weights, target, optimizer moments,
   /// RNG, epsilon schedule, best-weights snapshot, replay buffer). Must be
   /// called at an episode boundary — mid-episode pending transitions are
@@ -94,9 +100,6 @@ class DqnFleetAgent : public LearningDispatcher {
   struct WorkerNets;
 
   double InstantReward(const DispatchContext& context, int chosen) const;
-  /// Vehicle rows the network scores: the feasible sub-fleet under
-  /// constraint embedding, the whole fleet otherwise.
-  std::vector<int> InferenceIndices(const FleetState& state) const;
   /// One-item forward pass over the feasible sub-fleet via `batch`
   /// (cleared and rebuilt). Returns the Q column, row i = Q(idx[i]); the
   /// reference lives in `net`. Mutates only `net` and `batch`, so distinct

@@ -75,24 +75,6 @@ const nn::Matrix& DecisionBatch::adjacency() const {
   return block_adjacency_;
 }
 
-std::vector<double> FleetQNetwork::Forward(const nn::Matrix& features,
-                                           const nn::Matrix& adjacency) {
-  shim_batch_.Clear();
-  shim_batch_.Add(features, adjacency);
-  const nn::Matrix& q = EvaluateBatch(shim_batch_);
-  std::vector<double> out(static_cast<size_t>(q.rows()));
-  for (int i = 0; i < q.rows(); ++i) out[i] = q(i, 0);
-  return out;
-}
-
-void FleetQNetwork::Backward(const std::vector<double>& dq) {
-  shim_dq_.Resize(static_cast<int>(dq.size()), 1);
-  for (size_t i = 0; i < dq.size(); ++i) {
-    shim_dq_(static_cast<int>(i), 0) = dq[i];
-  }
-  BackwardBatch(shim_dq_);
-}
-
 MlpQNetwork::MlpQNetwork(const AgentConfig& config, Rng* rng)
     : mlp_({kStateFeatures, config.hidden_dim, config.hidden_dim, 1},
            nn::Activation::kReLU, rng) {}

@@ -88,7 +88,10 @@ class DecisionBatch {
 /// Evaluate/Backward call.
 ///
 /// BackwardBatch must follow the corresponding EvaluateBatch (gradients
-/// accumulate across calls until the optimizer steps).
+/// accumulate across calls until the optimizer steps), and the
+/// DecisionBatch passed to that EvaluateBatch must stay alive through the
+/// backward pass: the graph network's attention levels hold references to
+/// the batch's adjacency mask and row spans rather than copying them.
 class FleetQNetwork {
  public:
   virtual ~FleetQNetwork() = default;
@@ -100,18 +103,6 @@ class FleetQNetwork {
   virtual void BackwardBatch(const nn::Matrix& dq) = 0;
 
   virtual std::vector<nn::Parameter*> Params() = 0;
-
-  /// Single-item compatibility shims over EvaluateBatch/BackwardBatch.
-  /// Kept for one PR; new code should batch its candidates.
-  [[deprecated("use EvaluateBatch(DecisionBatch) instead")]]
-  std::vector<double> Forward(const nn::Matrix& features,
-                              const nn::Matrix& adjacency);
-  [[deprecated("use BackwardBatch(dq column) instead")]]
-  void Backward(const std::vector<double>& dq);
-
- private:
-  DecisionBatch shim_batch_;   ///< Scratch for the deprecated shims.
-  nn::Matrix shim_dq_;
 };
 
 /// Factorized per-vehicle MLP without relational structure (the DQN /

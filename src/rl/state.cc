@@ -1,6 +1,8 @@
 #include "rl/state.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace dpdp {
 
@@ -103,6 +105,32 @@ int AppendSubFleetInputs(const FleetState& state, const std::vector<int>& idx,
     FillNeighborAdjacency(pos, num_neighbors, &batch->mutable_adjacency(item));
   }
   return item;
+}
+
+std::vector<int> InferenceIndices(const FleetState& state,
+                                  const AgentConfig& config) {
+  if (config.use_constraint_embedding) return state.FeasibleIndices();
+  std::vector<int> all(state.num_vehicles());
+  for (int v = 0; v < state.num_vehicles(); ++v) all[v] = v;
+  return all;
+}
+
+GreedyQChoice ArgmaxFeasibleQ(const FleetState& state,
+                              const std::vector<int>& idx,
+                              const nn::Matrix& q, int q_offset) {
+  GreedyQChoice best;
+  double best_q = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (!state.feasible[idx[i]]) continue;
+    const double qi = q(q_offset + static_cast<int>(i), 0);
+    if (!std::isfinite(qi)) return GreedyQChoice{};
+    if (qi > best_q) {
+      best_q = qi;
+      best.vehicle = idx[i];
+      best.q = qi;
+    }
+  }
+  return best;
 }
 
 nn::Matrix BuildNeighborAdjacency(const nn::Matrix& positions,

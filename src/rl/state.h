@@ -66,6 +66,31 @@ int AppendSubFleetInputs(const FleetState& state, const std::vector<int>& idx,
                          bool use_graph, int num_neighbors,
                          DecisionBatch* batch);
 
+/// Vehicle rows the network scores for `state`: the feasible sub-fleet
+/// under constraint embedding, the whole fleet otherwise. Shared by the
+/// learning agents and the serving layer so both score exactly the same
+/// rows (a precondition for served decisions being bit-identical to local
+/// agent decisions).
+std::vector<int> InferenceIndices(const FleetState& state,
+                                  const AgentConfig& config);
+
+/// The greedy choice over a Q column restricted to feasible vehicles.
+struct GreedyQChoice {
+  int vehicle = -1;  ///< -1 when a feasible entry scored non-finite.
+  double q = 0.0;    ///< Q of `vehicle`; meaningless when vehicle < 0.
+};
+
+/// Argmax of q(q_offset + i, 0) over the entries i of `idx` whose vehicle
+/// is feasible, with the exact tie/guard semantics of the decision path:
+/// strict > comparison (first best wins ties) and a whole-decision refusal
+/// (vehicle = -1) the moment any feasible entry is non-finite, so a
+/// poisoned network degrades to the caller's greedy fallback instead of
+/// argmax comparing garbage. `q_offset` is the item's row offset within a
+/// stacked DecisionBatch evaluation (0 for a single-item evaluation).
+GreedyQChoice ArgmaxFeasibleQ(const FleetState& state,
+                              const std::vector<int>& idx,
+                              const nn::Matrix& q, int q_offset = 0);
+
 /// Builds the {0,1} adjacency mask over the *feasible sub-fleet*: entry
 /// (i, j) = 1 when j is one of i's `num_neighbors` nearest feasible
 /// vehicles by Euclidean distance, or j == i (self-loops keep every

@@ -1,0 +1,164 @@
+#include "serve/dispatch_service.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rl/q_network.h"
+#include "rl/state.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace dpdp::serve {
+namespace {
+
+struct ServeMetrics {
+  obs::Counter* requests =
+      obs::MetricsRegistry::Global().GetCounter("serve.requests");
+  obs::Counter* shed = obs::MetricsRegistry::Global().GetCounter("serve.shed");
+  obs::Counter* batches =
+      obs::MetricsRegistry::Global().GetCounter("serve.batches");
+  obs::Counter* batched_items =
+      obs::MetricsRegistry::Global().GetCounter("serve.batched_items");
+  obs::Counter* degraded =
+      obs::MetricsRegistry::Global().GetCounter("serve.degraded");
+  obs::Histogram* batch_size = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  obs::Histogram* queue_wait = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.queue_wait_s", obs::LatencyBucketsSeconds());
+  obs::Histogram* eval_latency = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.eval_latency_s", obs::LatencyBucketsSeconds());
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics* metrics = new ServeMetrics;
+  return *metrics;
+}
+
+}  // namespace
+
+ServeConfig ServeConfigFromEnv() {
+  ServeConfig config;
+  config.max_batch = EnvInt("DPDP_SERVE_MAX_BATCH", config.max_batch);
+  config.max_wait_us = EnvInt("DPDP_SERVE_MAX_WAIT_US",
+                              static_cast<int>(config.max_wait_us));
+  config.queue_capacity =
+      EnvInt("DPDP_SERVE_QUEUE_CAP", config.queue_capacity);
+  return config;
+}
+
+DispatchService::DispatchService(const ServeConfig& config,
+                                 ModelServer* models)
+    : config_(config), models_(models), queue_(config.queue_capacity) {
+  DPDP_CHECK(models_ != nullptr);
+  loop_ = std::thread([this] { Loop(); });
+}
+
+DispatchService::~DispatchService() { Stop(); }
+
+std::future<ServeReply> DispatchService::Submit(
+    const DispatchContext& context) {
+  DecisionRequest request;
+  request.context = &context;
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<ServeReply> fut = request.reply.get_future();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().requests->Add();
+  if (!queue_.TryPush(std::move(request))) {
+    // Shed: answer right here on the caller's thread with the emergency
+    // rule. Overload slows one caller down by one greedy scan; it never
+    // wedges the service or blocks the queue.
+    ServeReply reply;
+    reply.vehicle = GreedyInsertionFallback(context);
+    reply.shed = true;
+    reply.model_seq = models_->current_seq();
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed->Add();
+    request.reply.set_value(reply);
+  }
+  return fut;
+}
+
+void DispatchService::Stop() {
+  if (stopped_.exchange(true)) {
+    if (loop_.joinable()) loop_.join();
+    return;
+  }
+  queue_.Close();
+  if (loop_.joinable()) loop_.join();
+}
+
+void DispatchService::Loop() {
+  // The loop's private evaluation net. Weights are synced from the current
+  // ModelSnapshot whenever its seq moves; the snapshot itself is immutable,
+  // so in-flight evaluation and a concurrent Publish never touch the same
+  // matrices.
+  Rng scratch(models_->config().seed);
+  std::unique_ptr<FleetQNetwork> net = MakeQNetwork(models_->config(), &scratch);
+  const AgentConfig& agent_config = models_->config();
+  bool synced_once = false;
+  uint64_t net_seq = 0;
+
+  std::vector<DecisionRequest> requests;
+  std::vector<FleetState> states;
+  std::vector<std::vector<int>> indices;
+  DecisionBatch batch;
+  ServeMetrics& metrics = Metrics();
+
+  while (queue_.PopBatch(&requests, config_.max_batch, config_.max_wait_us) >
+         0) {
+    DPDP_TRACE_SPAN("serve.batch");
+    const auto start = std::chrono::steady_clock::now();
+    std::shared_ptr<const ModelSnapshot> snapshot = models_->Current();
+    if (!synced_once || snapshot->seq != net_seq) {
+      const std::vector<nn::Parameter*> params = net->Params();
+      DPDP_CHECK(params.size() == snapshot->weights.size());
+      for (size_t j = 0; j < params.size(); ++j) {
+        params[j]->value = snapshot->weights[j];
+      }
+      net_seq = snapshot->seq;
+      if (synced_once) swaps_applied_.fetch_add(1, std::memory_order_relaxed);
+      synced_once = true;
+    }
+
+    const int n = static_cast<int>(requests.size());
+    states.resize(n);
+    indices.resize(n);
+    batch.Clear();
+    for (int i = 0; i < n; ++i) {
+      metrics.queue_wait->Record(
+          std::chrono::duration<double>(start - requests[i].enqueue_time)
+              .count());
+      states[i] = BuildFleetState(*requests[i].context, agent_config);
+      indices[i] = InferenceIndices(states[i], agent_config);
+      AppendSubFleetInputs(states[i], indices[i], agent_config.use_graph,
+                           agent_config.num_neighbors, &batch);
+    }
+    const nn::Matrix& q = net->EvaluateBatch(batch);
+    for (int i = 0; i < n; ++i) {
+      const GreedyQChoice choice =
+          ArgmaxFeasibleQ(states[i], indices[i], q, batch.offset(i));
+      ServeReply reply;
+      reply.vehicle = choice.vehicle;
+      reply.degraded = choice.vehicle < 0;
+      reply.model_seq = snapshot->seq;
+      if (reply.degraded) {
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        metrics.degraded->Add();
+      }
+      requests[i].reply.set_value(reply);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics.batches->Add();
+    metrics.batched_items->Add(n);
+    metrics.batch_size->Record(static_cast<double>(n));
+    metrics.eval_latency->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+}
+
+}  // namespace dpdp::serve

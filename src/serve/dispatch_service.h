@@ -1,0 +1,96 @@
+#ifndef DPDP_SERVE_DISPATCH_SERVICE_H_
+#define DPDP_SERVE_DISPATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+
+#include "rl/config.h"
+#include "serve/model_server.h"
+#include "serve/request_queue.h"
+#include "sim/dispatcher.h"
+
+namespace dpdp::serve {
+
+/// Micro-batching policy + admission bound of a DispatchService.
+struct ServeConfig {
+  /// Flush a batch as soon as this many requests are pending.
+  int max_batch = 16;
+  /// ... or once the oldest pending request has waited this long. The
+  /// latency floor a lone client pays for batching; keep it well under the
+  /// per-decision planner cost or it shows up in p50.
+  long max_wait_us = 500;
+  /// Admission bound. Requests arriving with this many already queued are
+  /// shed to the greedy-insertion fallback on the caller's thread. 0 sheds
+  /// everything (drain mode).
+  int queue_capacity = 256;
+};
+
+/// Fills a ServeConfig from DPDP_SERVE_MAX_BATCH / DPDP_SERVE_MAX_WAIT_US /
+/// DPDP_SERVE_QUEUE_CAP, with the struct defaults as fallbacks.
+ServeConfig ServeConfigFromEnv();
+
+/// The in-process dispatch service: many concurrent simulated campuses
+/// submit decision requests; a single service loop coalesces them into
+/// stacked DecisionBatch evaluations on the current ModelSnapshot.
+///
+/// Correctness invariant: because a stacked EvaluateBatch is bit-identical
+/// to per-item evaluation (block-diagonal masks + one-chain-per-element
+/// GEMM; see DESIGN.md "Compute kernel model"), a served decision equals
+/// the decision a local agent with the same weights would make — however
+/// requests happen to interleave into batches. Batching changes wall-clock
+/// cost, never decisions.
+///
+/// Overload semantics: admission control degrades, it never stalls. A
+/// request that cannot be admitted is answered immediately on the caller's
+/// thread with the greedy-insertion fallback (Baseline 1's rule) and
+/// flagged shed = true; the serve.shed counter tracks how often.
+class DispatchService {
+ public:
+  /// The service evaluates on `models`'s config (MakeQNetwork-compatible
+  /// weights). `models` must outlive the service.
+  DispatchService(const ServeConfig& config, ModelServer* models);
+  ~DispatchService();
+
+  DispatchService(const DispatchService&) = delete;
+  DispatchService& operator=(const DispatchService&) = delete;
+
+  /// Submits one decision request. `context` must stay alive until the
+  /// returned future is fulfilled (ServiceDispatcher guarantees this by
+  /// blocking inside ChooseVehicle). Thread-safe.
+  std::future<ServeReply> Submit(const DispatchContext& context);
+
+  /// Closes admission, drains every queued request through the model, and
+  /// joins the service loop. Idempotent; the destructor calls it.
+  void Stop();
+
+  // Lifetime totals (this service instance, not the global registry).
+  uint64_t requests() const { return requests_.load(); }
+  uint64_t sheds() const { return sheds_.load(); }
+  uint64_t batches() const { return batches_.load(); }
+  uint64_t degraded() const { return degraded_.load(); }
+  /// Snapshot swaps observed by the service loop (transitions after the
+  /// initial weight sync).
+  uint64_t swaps_applied() const { return swaps_applied_.load(); }
+
+ private:
+  void Loop();
+
+  const ServeConfig config_;
+  ModelServer* const models_;
+  RequestQueue queue_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> swaps_applied_{0};
+
+  std::thread loop_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace dpdp::serve
+
+#endif  // DPDP_SERVE_DISPATCH_SERVICE_H_

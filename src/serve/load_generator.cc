@@ -1,0 +1,142 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "rl/dqn_agent.h"
+#include "serve/service_dispatcher.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dpdp::serve {
+namespace {
+
+/// Measures per-decision ChooseVehicle latency of a wrapped dispatcher
+/// (the local-agent counterpart of ServiceDispatcher's built-in timing).
+class TimingDispatcher : public Dispatcher {
+ public:
+  explicit TimingDispatcher(Dispatcher* inner) : inner_(inner) {}
+
+  const char* name() const override { return inner_->name(); }
+
+  int ChooseVehicle(const DispatchContext& context) override {
+    const auto start = std::chrono::steady_clock::now();
+    const int vehicle = inner_->ChooseVehicle(context);
+    latencies_s_.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    return vehicle;
+  }
+
+  void OnOrderAssigned(const DispatchContext& context, int vehicle) override {
+    inner_->OnOrderAssigned(context, vehicle);
+  }
+
+  void OnEpisodeEnd(const EpisodeResult& result) override {
+    inner_->OnEpisodeEnd(result);
+  }
+
+  std::vector<double>& latencies_s() { return latencies_s_; }
+
+ private:
+  Dispatcher* const inner_;
+  std::vector<double> latencies_s_;
+};
+
+/// Runs every client's episode loop concurrently (one pool thread each)
+/// and fills the aggregate report. `make_dispatcher` builds client i's
+/// dispatcher inside the worker; `collect_latencies` pulls its samples out
+/// afterwards.
+template <typename MakeClient>
+LoadReport RunClients(const std::vector<const Instance*>& instances,
+                      const LoadOptions& options, MakeClient make_client) {
+  const int n = static_cast<int>(instances.size());
+  DPDP_CHECK(n > 0);
+  LoadReport report;
+  report.clients.resize(n);
+
+  // A private pool with one thread per client: campus concurrency is part
+  // of the workload's definition, not a tuning knob, so it must not be
+  // capped by DPDP_THREADS (= 1 on single-core hosts).
+  ThreadPool pool(n);
+  WallTimer timer;
+  std::vector<std::future<void>> done;
+  done.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    done.push_back(pool.Submit([&, i] {
+      make_client(i, &report.clients[i]);
+    }));
+  }
+  for (std::future<void>& f : done) f.get();
+  report.wall_seconds = timer.ElapsedSeconds();
+
+  std::vector<double> all_latencies;
+  for (const ClientOutcome& client : report.clients) {
+    for (const EpisodeResult& episode : client.episodes) {
+      report.total_decisions += episode.num_decisions;
+    }
+    all_latencies.insert(all_latencies.end(), client.latencies_s.begin(),
+                         client.latencies_s.end());
+  }
+  report.decisions_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.total_decisions) / report.wall_seconds
+          : 0.0;
+  report.p50_us = PercentileNearestRank(all_latencies, 0.50) * 1e6;
+  report.p95_us = PercentileNearestRank(all_latencies, 0.95) * 1e6;
+  report.p99_us = PercentileNearestRank(all_latencies, 0.99) * 1e6;
+  return report;
+}
+
+}  // namespace
+
+double PercentileNearestRank(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const int rank = static_cast<int>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::max(0, rank - 1)];
+}
+
+LoadReport RunServedLoad(const std::vector<const Instance*>& instances,
+                         DispatchService* service,
+                         const LoadOptions& options) {
+  DPDP_CHECK(service != nullptr);
+  return RunClients(
+      instances, options, [&](int i, ClientOutcome* out) {
+        ServiceDispatcher dispatcher(
+            service, "served-campus-" + std::to_string(i));
+        Simulator sim(instances[i], options.sim);
+        for (int e = 0; e < options.episodes_per_client; ++e) {
+          out->episodes.push_back(sim.RunEpisode(&dispatcher));
+        }
+        out->latencies_s = dispatcher.latencies_s();
+        out->sheds = dispatcher.sheds();
+        out->degraded = dispatcher.degraded();
+      });
+}
+
+LoadReport RunLocalAgentsLoad(const std::vector<const Instance*>& instances,
+                              const AgentConfig& agent_config,
+                              const LoadOptions& options) {
+  return RunClients(
+      instances, options, [&](int i, ClientOutcome* out) {
+        DqnFleetAgent agent(agent_config,
+                            "local-campus-" + std::to_string(i));
+        TimingDispatcher timed(&agent);
+        Simulator sim(instances[i], options.sim);
+        for (int e = 0; e < options.episodes_per_client; ++e) {
+          out->episodes.push_back(sim.RunEpisode(&timed));
+        }
+        out->latencies_s = std::move(timed.latencies_s());
+      });
+}
+
+}  // namespace dpdp::serve

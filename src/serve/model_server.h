@@ -1,0 +1,97 @@
+#ifndef DPDP_SERVE_MODEL_SERVER_H_
+#define DPDP_SERVE_MODEL_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "rl/config.h"
+#include "util/status.h"
+
+namespace dpdp::serve {
+
+/// An immutable, refcount-retired policy snapshot. Once published it is
+/// never written again: in-flight batches keep their shared_ptr and finish
+/// on the weights they started with, and the old snapshot's storage is
+/// freed when the last holder drops it — hot-swap without pausing.
+struct ModelSnapshot {
+  uint64_t seq = 0;       ///< Publication order; strictly increasing.
+  int episodes_done = 0;  ///< Training progress recorded in the source.
+  std::string source;     ///< Checkpoint path, or "init" for the seed.
+  std::vector<nn::Matrix> weights;  ///< Params() order of MakeQNetwork.
+};
+
+/// Owns the current ModelSnapshot and the checkpoint-directory watcher
+/// that refreshes it.
+///
+/// Construction publishes snapshot seq 0 with the deterministic weight
+/// init of `config` — identical to a freshly constructed DqnFleetAgent
+/// with the same config, so a service running on the init snapshot emits
+/// exactly the decisions of local agents built from that config.
+///
+/// The watcher polls a directory of `*.ckpt` files and publishes any file
+/// whose footer seq is strictly newer than the current snapshot's.
+/// Staleness and integrity are judged by the checkpoint footer (seq +
+/// CRC), never by mtime: a torn or partially renamed file fails its CRC
+/// and is skipped, an old file re-appearing (copy, restore) has a smaller
+/// seq and is skipped, and the `.tmp` staging files of an in-progress
+/// atomic save are never considered at all.
+class ModelServer {
+ public:
+  explicit ModelServer(const AgentConfig& config);
+  ~ModelServer();
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// The current snapshot; never null. Callers hold the shared_ptr for as
+  /// long as they use the weights.
+  std::shared_ptr<const ModelSnapshot> Current() const;
+
+  /// Publishes `snapshot` if it is strictly newer than the current one.
+  /// Returns true when it became current.
+  bool Publish(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Validates `path` (CRC + seq via ReadCheckpointInfo), restores it into
+  /// a scratch agent, and publishes the extracted policy weights. A stale
+  /// seq yields OK without publishing (the caller polled an old file, not
+  /// an error).
+  Status LoadCheckpointFile(const std::string& path);
+
+  /// One watcher sweep over `model_dir`: every *.ckpt file is probed and
+  /// the newest valid one (by footer seq) is loaded if it beats the
+  /// current snapshot. Invalid files are counted and skipped. Returns the
+  /// number of snapshots published (0 or 1).
+  int PollOnce(const std::string& model_dir);
+
+  /// Starts the background watcher over `model_dir` (empty: reads
+  /// DPDP_SERVE_MODEL_DIR; still empty: no-op). Polls every `poll_ms`
+  /// (<= 0: reads DPDP_SERVE_POLL_MS, default 50).
+  void StartWatcher(const std::string& model_dir = "", int poll_ms = 0);
+
+  /// Stops and joins the watcher thread. Safe to call repeatedly.
+  void StopWatcher();
+
+  const AgentConfig& config() const { return config_; }
+  uint64_t current_seq() const { return Current()->seq; }
+
+ private:
+  const AgentConfig config_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+
+  std::mutex watcher_mu_;  ///< Guards watcher lifecycle + stop flag.
+  std::condition_variable watcher_cv_;
+  std::thread watcher_;
+  bool watcher_stop_ = false;
+};
+
+}  // namespace dpdp::serve
+
+#endif  // DPDP_SERVE_MODEL_SERVER_H_

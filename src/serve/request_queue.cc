@@ -1,0 +1,62 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+namespace dpdp::serve {
+
+bool RequestQueue::TryPush(DecisionRequest&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || static_cast<int>(queue_.size()) >= capacity_) {
+      return false;
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+int RequestQueue::PopBatch(std::vector<DecisionRequest>* out, int max_batch,
+                           long max_wait_us) {
+  out->clear();
+  if (max_batch < 1) max_batch = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return 0;  // Closed and drained.
+
+  // The flush deadline belongs to the oldest request: it bounds queueing
+  // delay per request, independent of how many stragglers trickle in.
+  const auto deadline =
+      queue_.front().enqueue_time + std::chrono::microseconds(max_wait_us);
+  for (;;) {
+    while (!queue_.empty() && static_cast<int>(out->size()) < max_batch) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (static_cast<int>(out->size()) >= max_batch || closed_) break;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Deadline hit: grab anything that raced in, then flush.
+      while (!queue_.empty() && static_cast<int>(out->size()) < max_batch) {
+        out->push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      break;
+    }
+  }
+  return static_cast<int>(out->size());
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace dpdp::serve

@@ -1,0 +1,80 @@
+#ifndef DPDP_SERVE_REQUEST_QUEUE_H_
+#define DPDP_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "sim/dispatcher.h"
+
+namespace dpdp::serve {
+
+/// The answer to one decision request.
+struct ServeReply {
+  /// Chosen vehicle index, or -1 when the model refused the decision
+  /// (non-finite Q for a feasible vehicle). A -1 is NOT substituted by the
+  /// service on purpose: the caller's simulator performs its own greedy
+  /// fallback and counts the degradation, exactly as it would for a local
+  /// agent — which keeps served and local episode results bit-identical.
+  int vehicle = -1;
+  bool shed = false;      ///< Answered by admission control, not the model.
+  bool degraded = false;  ///< vehicle == -1 (poisoned model output).
+  uint64_t model_seq = 0; ///< Snapshot that scored (or shed) the request.
+};
+
+/// One queued decision request. The context is borrowed: the submitter
+/// must keep it alive until the reply future is fulfilled. The dispatch
+/// adapter guarantees this by blocking on the future inside ChooseVehicle.
+struct DecisionRequest {
+  const DispatchContext* context = nullptr;
+  std::promise<ServeReply> reply;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// Bounded MPSC admission queue with micro-batch pops. Producers TryPush
+/// (never block — a full queue is the load-shedding signal); the single
+/// consumer pops coalesced batches under a max_batch / max_wait_us policy.
+class RequestQueue {
+ public:
+  /// `capacity` bounds the number of queued (admitted, not yet popped)
+  /// requests. 0 is legal and makes every TryPush fail — the drain-mode
+  /// configuration where admission control sheds all traffic.
+  explicit RequestQueue(int capacity) : capacity_(capacity) {}
+
+  /// Enqueues `request` unless the queue is full or closed. On failure the
+  /// request is left untouched (the caller still owns its promise and must
+  /// answer it via the shed path).
+  bool TryPush(DecisionRequest&& request);
+
+  /// Blocks until at least one request is queued (or the queue is closed),
+  /// then collects up to `max_batch` requests into `out`. After the first
+  /// request is taken, keeps waiting for more only until the OLDEST popped
+  /// request has aged `max_wait_us` past its enqueue time — so a request
+  /// admitted to an idle service is answered within roughly max_wait_us
+  /// plus one evaluation, while a backlogged service flushes full batches
+  /// immediately. Returns the number popped; 0 only when closed and
+  /// drained (the consumer's exit condition — close never drops requests).
+  int PopBatch(std::vector<DecisionRequest>* out, int max_batch,
+               long max_wait_us);
+
+  /// Wakes the consumer and makes further TryPush fail. Already-queued
+  /// requests remain poppable.
+  void Close();
+
+  size_t size() const;
+
+ private:
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<DecisionRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace dpdp::serve
+
+#endif  // DPDP_SERVE_REQUEST_QUEUE_H_

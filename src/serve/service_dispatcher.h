@@ -1,0 +1,58 @@
+#ifndef DPDP_SERVE_SERVICE_DISPATCHER_H_
+#define DPDP_SERVE_SERVICE_DISPATCHER_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/dispatch_service.h"
+#include "sim/dispatcher.h"
+
+namespace dpdp::serve {
+
+/// Adapts a DispatchService to the simulator's Dispatcher interface: one
+/// ChooseVehicle = one Submit + blocking wait on the reply. This is the
+/// indirection that lets any Simulator run "backed by the service" instead
+/// of owning an agent — the simulator neither knows nor cares that its
+/// decision crossed a queue and came back from a shared batched evaluation.
+///
+/// A degraded reply (vehicle -1) is returned as -1, so the simulator
+/// performs its own greedy fallback and counts the degradation exactly as
+/// it would for a local agent. Not thread-safe; one instance per client
+/// simulator (the service behind it is the shared, thread-safe part).
+class ServiceDispatcher : public Dispatcher {
+ public:
+  explicit ServiceDispatcher(DispatchService* service,
+                             std::string name = "served")
+      : service_(service), name_(std::move(name)) {}
+
+  const char* name() const override { return name_.c_str(); }
+
+  int ChooseVehicle(const DispatchContext& context) override {
+    const auto start = std::chrono::steady_clock::now();
+    ServeReply reply = service_->Submit(context).get();
+    latencies_s_.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    if (reply.shed) ++sheds_;
+    if (reply.degraded) ++degraded_;
+    return reply.vehicle;
+  }
+
+  /// Per-decision round-trip seconds (submit to reply), in decision order.
+  const std::vector<double>& latencies_s() const { return latencies_s_; }
+  long sheds() const { return sheds_; }
+  long degraded() const { return degraded_; }
+
+ private:
+  DispatchService* const service_;
+  const std::string name_;
+  std::vector<double> latencies_s_;
+  long sheds_ = 0;
+  long degraded_ = 0;
+};
+
+}  // namespace dpdp::serve
+
+#endif  // DPDP_SERVE_SERVICE_DISPATCHER_H_

@@ -1,0 +1,24 @@
+#include "sim/dispatcher.h"
+
+#include <limits>
+
+#include "util/status.h"
+
+namespace dpdp {
+
+int GreedyInsertionFallback(const DispatchContext& context) {
+  DPDP_CHECK(context.num_feasible > 0);
+  int best = -1;
+  double best_incremental = std::numeric_limits<double>::infinity();
+  for (const VehicleOption& opt : context.options) {
+    if (!opt.feasible) continue;
+    if (opt.incremental_length < best_incremental) {
+      best_incremental = opt.incremental_length;
+      best = opt.vehicle;
+    }
+  }
+  DPDP_CHECK(best >= 0);
+  return best;
+}
+
+}  // namespace dpdp

@@ -111,6 +111,12 @@ struct EpisodeResult {
   bool all_served() const { return num_unserved == 0; }
 };
 
+/// The greedy-insertion emergency rule (Baseline 1's min incremental
+/// length, first best wins ties): the answer of last resort shared by the
+/// simulator's graceful-degradation path and the serving layer's
+/// load-shedding path. Requires at least one feasible option.
+int GreedyInsertionFallback(const DispatchContext& context);
+
 /// Vehicle-selection policy: baselines and learned agents implement this.
 /// The simulator guarantees at least one feasible option when it calls
 /// ChooseVehicle, and the returned index must refer to a feasible option.

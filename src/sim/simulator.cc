@@ -197,7 +197,7 @@ EpisodeResult Simulator::RunEpisode(Dispatcher* dispatcher) {
       // Graceful degradation: an agent emitting garbage (NaN scores, an
       // infeasible index) or blowing the latency budget must not sink the
       // episode — Baseline 1 dispatches this order instead.
-      chosen = GreedyFallback(ctx);
+      chosen = GreedyInsertionFallback(ctx);
       ++result.num_degraded_decisions;
       Metrics().degraded->Add();
     }
@@ -249,21 +249,6 @@ EpisodeResult Simulator::RunEpisode(Dispatcher* dispatcher) {
   metrics.replanned->Add(static_cast<uint64_t>(result.num_replanned));
   dispatcher->OnEpisodeEnd(result);
   return result;
-}
-
-int Simulator::GreedyFallback(const DispatchContext& ctx) {
-  DPDP_CHECK(ctx.num_feasible > 0);
-  int best = -1;
-  double best_incremental = std::numeric_limits<double>::infinity();
-  for (const VehicleOption& opt : ctx.options) {
-    if (!opt.feasible) continue;
-    if (opt.incremental_length < best_incremental) {
-      best_incremental = opt.incremental_length;
-      best = opt.vehicle;
-    }
-  }
-  DPDP_CHECK(best >= 0);
-  return best;
 }
 
 void Simulator::ProcessDisruptionsUntil(double now, EpisodeResult* result) {

@@ -87,7 +87,6 @@ class Simulator {
   /// Baseline-1 fallback (min incremental length over feasible options)
   /// used when the dispatcher's answer is unusable. Requires
   /// ctx.num_feasible > 0.
-  static int GreedyFallback(const DispatchContext& ctx);
 
   const Instance* instance_;
   SimulatorConfig config_;

@@ -2,6 +2,7 @@
 // via the CRC footer, and the flagship guarantee — kill + resume training
 // is bit-identical to an uninterrupted run.
 
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -16,6 +17,7 @@
 #include "rl/dqn_agent.h"
 #include "rl/trainer.h"
 #include "sim/simulator.h"
+#include "util/crc32.h"
 
 namespace dpdp {
 namespace {
@@ -189,6 +191,88 @@ TEST_F(CheckpointCorruption, ArchitectureMismatchRejected) {
   const Result<int> r = LoadCheckpoint(path_, &other);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Checkpoint, SeqFooterRoundTrips) {
+  DqnFleetAgent agent(MakeDqnConfig(11), "DQN");
+  const std::string path = TempPath("seq.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, /*episodes_done=*/7, agent,
+                             /*seq=*/42).ok());
+
+  const Result<CheckpointInfo> info = ReadCheckpointInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info.value().episodes_done, 7);
+  EXPECT_EQ(info.value().seq, 42u);
+
+  // The seq footer never interferes with a full restore.
+  DqnFleetAgent restored(MakeDqnConfig(11), "DQN");
+  const Result<int> episodes = LoadCheckpoint(path, &restored);
+  ASSERT_TRUE(episodes.ok()) << episodes.status();
+  EXPECT_EQ(episodes.value(), 7);
+}
+
+TEST(Checkpoint, DefaultSeqIsEpisodesDone) {
+  // The training loop saves once per episode, so episodes_done is already
+  // a valid monotonic publication number — seq 0 means "use it".
+  DqnFleetAgent agent(MakeDqnConfig(11), "DQN");
+  const std::string path = TempPath("seq_default.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, /*episodes_done=*/5, agent).ok());
+  const Result<CheckpointInfo> info = ReadCheckpointInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info.value().seq, 5u);
+}
+
+TEST(Checkpoint, ReadCheckpointInfoValidatesWithoutAnAgent) {
+  DqnFleetAgent agent(MakeDqnConfig(11), "DQN");
+  const std::string path = TempPath("probe.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, 3, agent, 30).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  // Torn write: the probe must fail exactly like a full load would,
+  // because the watcher uses it as its only integrity gate.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 6));
+  EXPECT_FALSE(ReadCheckpointInfo(path).ok());
+
+  std::string flipped = bytes;
+  flipped[flipped.size() / 3] ^= 0x01;
+  WriteFileBytes(path, flipped);
+  EXPECT_FALSE(ReadCheckpointInfo(path).ok());
+
+  const Result<CheckpointInfo> missing =
+      ReadCheckpointInfo(TempPath("no_such.ckpt"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  WriteFileBytes(path, bytes);  // Intact again: probe succeeds.
+  ASSERT_TRUE(ReadCheckpointInfo(path).ok());
+}
+
+TEST(Checkpoint, VersionOneFilesStillLoadAndReportEpisodesAsSeq) {
+  // Rebuild a version-1 file (no seq footer) from a fresh v2 checkpoint:
+  // drop the 8-byte seq, stamp version 1, recompute the CRC.
+  DqnFleetAgent agent(MakeDqnConfig(13), "DQN");
+  const std::string path = TempPath("v1.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(path, /*episodes_done=*/4, agent, 99).ok());
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 8u + 4u + 8u + 4u);
+
+  std::string v1 = bytes.substr(0, bytes.size() - 8 - 4);  // - seq - CRC.
+  const uint32_t version1 = 1;
+  std::memcpy(&v1[8], &version1, sizeof(version1));
+  const uint32_t crc = Crc32(v1.data() + 8, v1.size() - 8);
+  v1.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  WriteFileBytes(path, v1);
+
+  const Result<CheckpointInfo> info = ReadCheckpointInfo(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info.value().episodes_done, 4);
+  EXPECT_EQ(info.value().seq, 4u) << "v1 files report seq = episodes_done";
+
+  DqnFleetAgent restored(MakeDqnConfig(13), "DQN");
+  const Result<int> episodes = LoadCheckpoint(path, &restored);
+  ASSERT_TRUE(episodes.ok()) << episodes.status();
+  EXPECT_EQ(episodes.value(), 4);
+  EXPECT_EQ(AgentStateBytes(restored), AgentStateBytes(agent));
 }
 
 TEST(Checkpoint, SaveLeavesNoTmpFileBehind) {

@@ -88,6 +88,31 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_EQ(buckets[3], 1u);  // Overflow slot.
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  obs::MetricSnapshot snap;
+  snap.kind = obs::MetricSnapshot::Kind::kHistogram;
+  snap.bounds = {1.0, 2.0, 5.0};
+  snap.buckets = {2, 2, 0, 0};  // 2 in (0,1], 2 in (1,2].
+  snap.count = 4;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 1.0), 2.0);
+
+  // Overflow samples clamp to the last finite bound.
+  snap.buckets = {0, 0, 0, 3};
+  snap.count = 3;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.99), 5.0);
+
+  // Empty histograms and non-histogram snapshots report 0.
+  snap.buckets = {0, 0, 0, 0};
+  snap.count = 0;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.5), 0.0);
+  obs::MetricSnapshot counter;
+  counter.kind = obs::MetricSnapshot::Kind::kCounter;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(counter, 0.5), 0.0);
+}
+
 TEST(Histogram, ConcurrentRecordsSumExactly) {
   obs::Histogram h("test.hist_conc", obs::LatencyBucketsSeconds());
   constexpr int kThreads = 8;

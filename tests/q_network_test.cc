@@ -1,12 +1,5 @@
 #include <gtest/gtest.h>
 
-// This suite deliberately exercises the deprecated single-item Forward /
-// Backward shims: they are the reference the batched API is golden-tested
-// against, and they must keep working for one deprecation PR.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 #include "rl/config.h"
 #include "rl/q_network.h"
 #include "rl/state.h"
@@ -42,11 +35,32 @@ AgentConfig SmallConfig(bool graph) {
   return c;
 }
 
+/// Scores one item through a fresh one-item DecisionBatch and copies the Q
+/// column out (the reference stays valid only until the next evaluation).
+std::vector<double> EvalOne(FleetQNetwork* net, const nn::Matrix& features,
+                            const nn::Matrix& adjacency = nn::Matrix()) {
+  DecisionBatch batch;
+  batch.Add(features, adjacency);
+  const nn::Matrix& q = net->EvaluateBatch(batch);
+  std::vector<double> out(static_cast<size_t>(q.rows()));
+  for (int i = 0; i < q.rows(); ++i) out[i] = q(i, 0);
+  return out;
+}
+
+/// One-hot (or arbitrary) dq vector as the (rows x 1) column BackwardBatch
+/// expects.
+nn::Matrix DqColumn(const std::vector<double>& dq) {
+  nn::Matrix col(static_cast<int>(dq.size()), 1);
+  for (size_t i = 0; i < dq.size(); ++i) {
+    col(static_cast<int>(i), 0) = dq[i];
+  }
+  return col;
+}
+
 TEST(MlpQNetwork, OneQPerVehicle) {
   Rng rng(1);
   MlpQNetwork net(SmallConfig(false), &rng);
-  const auto q = net.Forward(RandomMatrix(5, kStateFeatures, &rng),
-                             nn::Matrix());
+  const auto q = EvalOne(&net, RandomMatrix(5, kStateFeatures, &rng));
   EXPECT_EQ(q.size(), 5u);
 }
 
@@ -55,12 +69,12 @@ TEST(MlpQNetwork, RowsAreIndependent) {
   Rng rng(2);
   MlpQNetwork net(SmallConfig(false), &rng);
   nn::Matrix x = RandomMatrix(3, kStateFeatures, &rng);
-  const auto q1 = net.Forward(x, nn::Matrix());
+  const auto q1 = EvalOne(&net, x);
   nn::Matrix swapped = x;
   for (int c = 0; c < kStateFeatures; ++c) {
     std::swap(swapped(0, c), swapped(2, c));
   }
-  const auto q2 = net.Forward(swapped, nn::Matrix());
+  const auto q2 = EvalOne(&net, swapped);
   EXPECT_NEAR(q1[0], q2[2], 1e-12);
   EXPECT_NEAR(q1[2], q2[0], 1e-12);
   EXPECT_NEAR(q1[1], q2[1], 1e-12);
@@ -71,10 +85,10 @@ TEST(GraphQNetwork, OutputDependsOnNeighbors) {
   GraphQNetwork net(SmallConfig(true), &rng);
   nn::Matrix x = RandomMatrix(4, kStateFeatures, &rng);
   const nn::Matrix adj = RingAdjacency(4);
-  const auto q1 = net.Forward(x, adj);
+  const auto q1 = EvalOne(&net, x, adj);
   // Perturb vehicle 1 (a neighbor of vehicle 0 in the ring).
   for (int c = 0; c < kStateFeatures; ++c) x(1, c) += 1.0;
-  const auto q2 = net.Forward(x, adj);
+  const auto q2 = EvalOne(&net, x, adj);
   EXPECT_NE(q1[0], q2[0]);  // Relational: neighbor's state matters.
 }
 
@@ -82,14 +96,12 @@ TEST(GraphQNetwork, NonNeighborsDoNotInfluence) {
   Rng rng(4);
   GraphQNetwork net(SmallConfig(true), &rng);
   nn::Matrix x = RandomMatrix(4, kStateFeatures, &rng);
-  // Ring adjacency: vehicle 0 attends {0, 1}. With 2 stacked levels its
-  // receptive field grows to {0, 1, 2} but NOT 3's own row... vehicle 3
-  // reaches 0 only through two hops 3->0? Ring: i attends i and i+1, so
-  // 0 -> {0,1} -> {0,1,2}. Vehicle 3 is outside the 2-hop field of 0.
+  // Ring adjacency: i attends {i, i+1}, so with 2 stacked levels vehicle
+  // 0's receptive field is {0, 1, 2}. Vehicle 3 is outside it.
   const nn::Matrix adj = RingAdjacency(4);
-  const auto q1 = net.Forward(x, adj);
+  const auto q1 = EvalOne(&net, x, adj);
   for (int c = 0; c < kStateFeatures; ++c) x(3, c) += 5.0;
-  const auto q2 = net.Forward(x, adj);
+  const auto q2 = EvalOne(&net, x, adj);
   EXPECT_NEAR(q1[0], q2[0], 1e-12);
   EXPECT_NE(q1[2], q2[2]);  // 2 attends 3 directly.
 }
@@ -103,12 +115,15 @@ TEST(GraphQNetwork, GradientsMatchFiniteDifferences) {
 
   // Loss = q[1] (single-action gradient as used in DQN training).
   const int target_row = 1;
-  auto loss = [&] { return net.Forward(x, adj)[target_row]; };
+  auto loss = [&] { return EvalOne(&net, x, adj)[target_row]; };
 
-  (void)loss();
-  std::vector<double> dq(4, 0.0);
-  dq[target_row] = 1.0;
-  net.Backward(dq);
+  // The batch fed to the forward pass that precedes BackwardBatch must
+  // outlive the backward: the attention levels reference its adjacency
+  // mask and row spans instead of copying them.
+  DecisionBatch batch;
+  batch.Add(x, adj);
+  (void)net.EvaluateBatch(batch);
+  net.BackwardBatch(DqColumn({0.0, 1.0, 0.0, 0.0}));
 
   const double eps = 1e-6;
   int checked = 0;
@@ -135,9 +150,9 @@ TEST(MlpQNetwork, GradientsMatchFiniteDifferences) {
   Rng rng(6);
   MlpQNetwork net(SmallConfig(false), &rng);
   const nn::Matrix x = RandomMatrix(3, kStateFeatures, &rng, 0.5);
-  auto loss = [&] { return net.Forward(x, nn::Matrix())[2]; };
+  auto loss = [&] { return EvalOne(&net, x)[2]; };
   (void)loss();
-  net.Backward({0.0, 0.0, 1.0});
+  net.BackwardBatch(DqColumn({0.0, 0.0, 1.0}));
   const double eps = 1e-6;
   for (nn::Parameter* p : net.Params()) {
     for (int r = 0; r < p->value.rows(); ++r) {
@@ -154,10 +169,11 @@ TEST(MlpQNetwork, GradientsMatchFiniteDifferences) {
   }
 }
 
-TEST(MlpQNetwork, EvaluateBatchBitEqualToLoopedForward) {
+TEST(MlpQNetwork, EvaluateBatchBitEqualToOneItemBatches) {
   // The batched pass stacks items into one matrix; with shared per-vehicle
   // weights and one-dot-per-element GEMM kernels, every Q must come out
-  // bit-identical to evaluating each item alone through the legacy shim.
+  // bit-identical to evaluating each item through its own one-item batch
+  // (which is what a single local agent's decision path does).
   Rng rng(20);
   MlpQNetwork net(SmallConfig(false), &rng);
   std::vector<nn::Matrix> items;
@@ -166,11 +182,11 @@ TEST(MlpQNetwork, EvaluateBatchBitEqualToLoopedForward) {
     items.push_back(RandomMatrix(m, kStateFeatures, &rng));
     batch.Add(items.back());
   }
-  const nn::Matrix q = net.EvaluateBatch(batch);  // Copied: shim reuses net.
+  const nn::Matrix q = net.EvaluateBatch(batch);  // Copy: net reuses buffers.
   ASSERT_EQ(q.rows(), batch.total_rows());
   ASSERT_EQ(q.cols(), 1);
   for (size_t i = 0; i < items.size(); ++i) {
-    const std::vector<double> qi = net.Forward(items[i], nn::Matrix());
+    const std::vector<double> qi = EvalOne(&net, items[i]);
     const int off = batch.offset(static_cast<int>(i));
     ASSERT_EQ(static_cast<int>(qi.size()), items[i].rows());
     for (size_t r = 0; r < qi.size(); ++r) {
@@ -180,7 +196,7 @@ TEST(MlpQNetwork, EvaluateBatchBitEqualToLoopedForward) {
   }
 }
 
-TEST(GraphQNetwork, EvaluateBatchBitEqualToLoopedForward) {
+TEST(GraphQNetwork, EvaluateBatchBitEqualToOneItemBatches) {
   // Relational variant: the block-diagonal mask plus per-row attention
   // spans must keep each item's softmax walk identical to the single-item
   // walk, so batching changes no bits.
@@ -194,10 +210,10 @@ TEST(GraphQNetwork, EvaluateBatchBitEqualToLoopedForward) {
     adjs.push_back(RingAdjacency(m));
     batch.Add(items.back(), adjs.back());
   }
-  const nn::Matrix q = net.EvaluateBatch(batch);  // Copied: shim reuses net.
+  const nn::Matrix q = net.EvaluateBatch(batch);  // Copy: net reuses buffers.
   ASSERT_EQ(q.rows(), batch.total_rows());
   for (size_t i = 0; i < items.size(); ++i) {
-    const std::vector<double> qi = net.Forward(items[i], adjs[i]);
+    const std::vector<double> qi = EvalOne(&net, items[i], adjs[i]);
     const int off = batch.offset(static_cast<int>(i));
     for (size_t r = 0; r < qi.size(); ++r) {
       EXPECT_EQ(q(off + static_cast<int>(r), 0), qi[r])
@@ -247,8 +263,8 @@ TEST(GraphQNetwork, ParameterCountMatchesArchitecture) {
 TEST(GraphQNetwork, SingleVehicleFleetWorks) {
   Rng rng(9);
   GraphQNetwork net(SmallConfig(true), &rng);
-  const auto q = net.Forward(RandomMatrix(1, kStateFeatures, &rng),
-                             nn::Matrix(1, 1, 1.0));
+  const auto q = EvalOne(&net, RandomMatrix(1, kStateFeatures, &rng),
+                         nn::Matrix(1, 1, 1.0));
   EXPECT_EQ(q.size(), 1u);
 }
 
