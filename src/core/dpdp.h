@@ -28,7 +28,8 @@
 ///   baselines/ greedy dispatch heuristics (Baselines 1-3)
 ///   rl/      DQN/DDQN/AC/DGN/ST-DDGN agents (Algorithm 3)
 ///   exact/   branch-and-bound optimal PDP solver
-///   serve/   online dispatch service (micro-batching, hot-swap, shedding)
+///   serve/   online dispatch fabric (micro-batching, sharding, hot-swap,
+///            shedding)
 ///   exp/     experiment harness shared by the bench binaries
 
 #include "baselines/greedy_baselines.h"
@@ -57,6 +58,7 @@
 #include "serve/load_generator.h"
 #include "serve/model_server.h"
 #include "serve/service_dispatcher.h"
+#include "serve/shard_router.h"
 #include "sim/dispatcher.h"
 #include "sim/simulator.h"
 #include "stpred/divergence.h"

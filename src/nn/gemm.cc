@@ -1,6 +1,7 @@
 #include "nn/gemm.h"
 
 #include <algorithm>
+#include <atomic>
 
 #if defined(__FMA__) && defined(__AVX__)
 #include <immintrin.h>
@@ -203,7 +204,10 @@ obs::Counter* GemmFlopsCounter() {
   return counter;
 }
 
-int g_gemm_threads = 0;  ///< 0 = not yet initialized from the environment.
+/// 0 = not yet initialized from the environment. Atomic because the first
+/// GEMM calls of a process may come from many serving/client threads at
+/// once; concurrent lazy inits all store the same env-derived value.
+std::atomic<int> g_gemm_threads{0};
 
 /// Pool dedicated to GEMM fan-out. Sized once, at the first parallel
 /// dispatch, from the thread count active at that moment; later
@@ -253,13 +257,17 @@ Workspace& ThreadLocalWorkspace() {
 }
 
 int GemmThreads() {
-  if (g_gemm_threads == 0) {
-    g_gemm_threads = std::max(1, EnvInt("DPDP_GEMM_THREADS", 1));
+  int n = g_gemm_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = std::max(1, EnvInt("DPDP_GEMM_THREADS", 1));
+    g_gemm_threads.store(n, std::memory_order_relaxed);
   }
-  return g_gemm_threads;
+  return n;
 }
 
-void SetGemmThreads(int n) { g_gemm_threads = std::max(1, n); }
+void SetGemmThreads(int n) {
+  g_gemm_threads.store(std::max(1, n), std::memory_order_relaxed);
+}
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out, Workspace* ws) {
   GemmBias(a, b, Matrix(), out, ws);

@@ -195,8 +195,18 @@ double HistogramQuantile(const MetricSnapshot& snapshot, double q) {
       snapshot.count == 0 || snapshot.buckets.empty()) {
     return 0.0;
   }
+  // A boundless histogram (only the overflow bucket) carries no positional
+  // information beyond its running sum, so the mean is the only defensible
+  // estimate for any q. Also the clamp target when every sample landed in
+  // overflow: the mean is then at least the last bound, where plain
+  // clamping would systematically under-report.
+  const double mean = snapshot.sum / static_cast<double>(snapshot.count);
+  if (snapshot.bounds.empty()) return mean;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
+  // q = 0 lands on the first non-empty bucket's lower edge: empty buckets
+  // are skipped below without advancing the cumulative rank, so rank 0
+  // resolves to the smallest sample's bucket, not to bucket 0.
   const double target = q * static_cast<double>(snapshot.count);
   double cumulative = 0.0;
   for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
@@ -211,7 +221,9 @@ double HistogramQuantile(const MetricSnapshot& snapshot, double q) {
     const double frac = (target - cumulative) / in_bucket;
     return lo + frac * (hi - lo);
   }
-  return snapshot.bounds.back();
+  // The target rank lives in the overflow bucket: clamp to the last bound
+  // (never below it — the mean can exceed it when overflow mass is heavy).
+  return std::max(snapshot.bounds.back(), mean);
 }
 
 std::string SnapshotToCsv(const std::vector<MetricSnapshot>& snapshot) {

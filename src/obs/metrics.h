@@ -152,10 +152,14 @@ class MetricsRegistry {
 
 /// Estimates the q-quantile (q in [0, 1]) of a histogram snapshot by
 /// linear interpolation inside the bucket holding the target rank. Exact
-/// only up to bucket resolution; samples in the overflow bucket clamp to
-/// the last bound. Returns 0 for empty histograms or non-histogram
-/// snapshots. This is how the serving layer turns its latency histograms
-/// into the reported p50/p95/p99.
+/// only up to bucket resolution. Edge cases are total: an empty histogram
+/// (count 0 — e.g. a cold shard that never served) or a non-histogram
+/// snapshot returns 0; q is clamped into [0, 1]; p0 is the lower edge of
+/// the first non-empty bucket and p100 the upper edge of the last
+/// non-empty one; a boundless histogram (only the overflow bucket) returns
+/// the sample mean; a rank landing in the overflow bucket clamps to the
+/// last bound, or to the mean when the mean exceeds it. This is how the
+/// serving layer turns its latency histograms into reported p50/p95/p99.
 double HistogramQuantile(const MetricSnapshot& snapshot, double q);
 
 /// Serializes a snapshot. CSV columns: name,kind,value,count,sum,buckets

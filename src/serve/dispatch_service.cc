@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,8 @@ struct ServeMetrics {
       "serve.queue_wait_s", obs::LatencyBucketsSeconds());
   obs::Histogram* eval_latency = obs::MetricsRegistry::Global().GetHistogram(
       "serve.eval_latency_s", obs::LatencyBucketsSeconds());
+  obs::Histogram* commit_latency = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.commit_latency_s", obs::LatencyBucketsSeconds());
 };
 
 ServeMetrics& Metrics() {
@@ -47,13 +50,28 @@ ServeConfig ServeConfigFromEnv() {
                               static_cast<int>(config.max_wait_us));
   config.queue_capacity =
       EnvInt("DPDP_SERVE_QUEUE_CAP", config.queue_capacity);
+  config.commit_us =
+      EnvInt("DPDP_SERVE_COMMIT_US", static_cast<int>(config.commit_us));
   return config;
 }
 
 DispatchService::DispatchService(const ServeConfig& config,
-                                 ModelServer* models)
-    : config_(config), models_(models), queue_(config.queue_capacity) {
+                                 ModelServer* models, ShardTag tag)
+    : config_(config),
+      models_(models),
+      tag_(tag),
+      queue_(config.queue_capacity) {
   DPDP_CHECK(models_ != nullptr);
+  if (tag_.index >= 0) {
+    const std::string prefix = "serve.shard" + std::to_string(tag_.index);
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    shard_requests_ = registry.GetCounter(prefix + ".requests");
+    shard_sheds_ = registry.GetCounter(prefix + ".shed");
+    shard_batches_ = registry.GetCounter(prefix + ".batches");
+    shard_batched_items_ = registry.GetCounter(prefix + ".batched_items");
+    shard_degraded_ = registry.GetCounter(prefix + ".degraded");
+    shard_span_name_ = prefix;
+  }
   loop_ = std::thread([this] { Loop(); });
 }
 
@@ -67,6 +85,7 @@ std::future<ServeReply> DispatchService::Submit(
   std::future<ServeReply> fut = request.reply.get_future();
   requests_.fetch_add(1, std::memory_order_relaxed);
   Metrics().requests->Add();
+  if (shard_requests_ != nullptr) shard_requests_->Add();
   if (!queue_.TryPush(std::move(request))) {
     // Shed: answer right here on the caller's thread with the emergency
     // rule. Overload slows one caller down by one greedy scan; it never
@@ -75,8 +94,10 @@ std::future<ServeReply> DispatchService::Submit(
     reply.vehicle = GreedyInsertionFallback(context);
     reply.shed = true;
     reply.model_seq = models_->current_seq();
+    reply.shard = tag_.index;
     sheds_.fetch_add(1, std::memory_order_relaxed);
     Metrics().shed->Add();
+    if (shard_sheds_ != nullptr) shard_sheds_->Add();
     request.reply.set_value(reply);
   }
   return fut;
@@ -95,7 +116,10 @@ void DispatchService::Loop() {
   // The loop's private evaluation net. Weights are synced from the current
   // ModelSnapshot whenever its seq moves; the snapshot itself is immutable,
   // so in-flight evaluation and a concurrent Publish never touch the same
-  // matrices.
+  // matrices. N shard loops syncing from the same ModelServer are N
+  // independent subscribers of the one hot-swap channel: each holds its
+  // own replica, and a Publish reaches every shard at its next batch
+  // boundary without any cross-shard coordination.
   Rng scratch(models_->config().seed);
   std::unique_ptr<FleetQNetwork> net = MakeQNetwork(models_->config(), &scratch);
   const AgentConfig& agent_config = models_->config();
@@ -111,6 +135,10 @@ void DispatchService::Loop() {
   while (queue_.PopBatch(&requests, config_.max_batch, config_.max_wait_us) >
          0) {
     DPDP_TRACE_SPAN("serve.batch");
+    // Per-shard span annotation: the same batch shows up under its shard's
+    // own name so a trace viewer separates the N loops.
+    std::optional<obs::TraceSpan> shard_span;
+    if (!shard_span_name_.empty()) shard_span.emplace(shard_span_name_.c_str());
     const auto start = std::chrono::steady_clock::now();
     std::shared_ptr<const ModelSnapshot> snapshot = models_->Current();
     if (!synced_once || snapshot->seq != net_seq) {
@@ -120,6 +148,7 @@ void DispatchService::Loop() {
         params[j]->value = snapshot->weights[j];
       }
       net_seq = snapshot->seq;
+      net_seq_.store(net_seq, std::memory_order_relaxed);
       if (synced_once) swaps_applied_.fetch_add(1, std::memory_order_relaxed);
       synced_once = true;
     }
@@ -138,6 +167,24 @@ void DispatchService::Loop() {
                            agent_config.num_neighbors, &batch);
     }
     const nn::Matrix& q = net->EvaluateBatch(batch);
+    metrics.eval_latency->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+
+    // Downstream commit: the batch's decisions become real only when the
+    // downstream channel acks them, so replies are released after the
+    // modeled commit wait. Pure latency, no CPU — concurrent shards
+    // overlap their commits.
+    if (config_.commit_us > 0) {
+      DPDP_TRACE_SPAN("serve.commit");
+      const auto commit_start = std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(std::chrono::microseconds(config_.commit_us));
+      metrics.commit_latency->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        commit_start)
+              .count());
+    }
+
     for (int i = 0; i < n; ++i) {
       const GreedyQChoice choice =
           ArgmaxFeasibleQ(states[i], indices[i], q, batch.offset(i));
@@ -145,9 +192,11 @@ void DispatchService::Loop() {
       reply.vehicle = choice.vehicle;
       reply.degraded = choice.vehicle < 0;
       reply.model_seq = snapshot->seq;
+      reply.shard = tag_.index;
       if (reply.degraded) {
         degraded_.fetch_add(1, std::memory_order_relaxed);
         metrics.degraded->Add();
+        if (shard_degraded_ != nullptr) shard_degraded_->Add();
       }
       requests[i].reply.set_value(reply);
     }
@@ -155,9 +204,10 @@ void DispatchService::Loop() {
     metrics.batches->Add();
     metrics.batched_items->Add(n);
     metrics.batch_size->Record(static_cast<double>(n));
-    metrics.eval_latency->Record(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
+    if (shard_batches_ != nullptr) {
+      shard_batches_->Add();
+      shard_batched_items_->Add(n);
+    }
   }
 }
 

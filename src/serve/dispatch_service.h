@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <string>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "rl/config.h"
 #include "serve/model_server.h"
 #include "serve/request_queue.h"
@@ -25,11 +27,43 @@ struct ServeConfig {
   /// shed to the greedy-insertion fallback on the caller's thread. 0 sheds
   /// everything (drain mode).
   int queue_capacity = 256;
+  /// Modeled synchronous downstream-commit latency per batch, in
+  /// microseconds. A real dispatch fabric does not release decisions the
+  /// moment the model scores them: the batch is committed to a downstream
+  /// channel (courier comms, order store, message bus) and the replies are
+  /// released on its ack. This knob models that ack as a timed wait between
+  /// evaluation and reply release — it consumes no CPU, so it is exactly
+  /// the kind of latency that sharding overlaps across service loops.
+  /// 0 (the default) disables the stage entirely.
+  long commit_us = 0;
 };
 
 /// Fills a ServeConfig from DPDP_SERVE_MAX_BATCH / DPDP_SERVE_MAX_WAIT_US /
-/// DPDP_SERVE_QUEUE_CAP, with the struct defaults as fallbacks.
+/// DPDP_SERVE_QUEUE_CAP / DPDP_SERVE_COMMIT_US, with the struct defaults
+/// as fallbacks.
 ServeConfig ServeConfigFromEnv();
+
+/// Anything that answers decision requests asynchronously: the single
+/// micro-batching DispatchService, or the ShardRouter fanning out over N
+/// of them. Dispatch adapters and load generators target this interface so
+/// a simulator neither knows nor cares whether its decisions crossed one
+/// queue or a sharded fabric.
+class DecisionService {
+ public:
+  virtual ~DecisionService() = default;
+
+  /// Submits one decision request. `context` must stay alive until the
+  /// returned future is fulfilled (ServiceDispatcher guarantees this by
+  /// blocking inside ChooseVehicle). Thread-safe.
+  virtual std::future<ServeReply> Submit(const DispatchContext& context) = 0;
+};
+
+/// Identity of a service inside a sharded fabric. A default-constructed
+/// tag (index -1) means "not a shard": the service reports only the
+/// aggregate serve.* metrics, exactly the pre-sharding behavior.
+struct ShardTag {
+  int index = -1;
+};
 
 /// The in-process dispatch service: many concurrent simulated campuses
 /// submit decision requests; a single service loop coalesces them into
@@ -46,20 +80,26 @@ ServeConfig ServeConfigFromEnv();
 /// request that cannot be admitted is answered immediately on the caller's
 /// thread with the greedy-insertion fallback (Baseline 1's rule) and
 /// flagged shed = true; the serve.shed counter tracks how often.
-class DispatchService {
+///
+/// When constructed with a ShardTag (index >= 0), the service additionally
+/// reports per-shard registry counters (serve.shard<k>.requests / shed /
+/// batches / batched_items / degraded), annotates each batch with a
+/// "serve.shard<k>" trace span, and stamps replies with its shard index.
+/// The aggregate serve.* metrics are shared by all shards, so the global
+/// registry's serve.requests is by construction the cross-shard rollup:
+/// aggregate == sum over shards of serve.shard<k>.requests.
+class DispatchService : public DecisionService {
  public:
   /// The service evaluates on `models`'s config (MakeQNetwork-compatible
   /// weights). `models` must outlive the service.
-  DispatchService(const ServeConfig& config, ModelServer* models);
-  ~DispatchService();
+  DispatchService(const ServeConfig& config, ModelServer* models,
+                  ShardTag tag = {});
+  ~DispatchService() override;
 
   DispatchService(const DispatchService&) = delete;
   DispatchService& operator=(const DispatchService&) = delete;
 
-  /// Submits one decision request. `context` must stay alive until the
-  /// returned future is fulfilled (ServiceDispatcher guarantees this by
-  /// blocking inside ChooseVehicle). Thread-safe.
-  std::future<ServeReply> Submit(const DispatchContext& context);
+  std::future<ServeReply> Submit(const DispatchContext& context) override;
 
   /// Closes admission, drains every queued request through the model, and
   /// joins the service loop. Idempotent; the destructor calls it.
@@ -73,19 +113,38 @@ class DispatchService {
   /// Snapshot swaps observed by the service loop (transitions after the
   /// initial weight sync).
   uint64_t swaps_applied() const { return swaps_applied_.load(); }
+  /// Highest snapshot seq the service loop has synced its net to. The
+  /// ModelServer publishes strictly increasing seqs and the loop re-syncs
+  /// at batch boundaries, so this never regresses.
+  uint64_t net_seq() const { return net_seq_.load(); }
+
+  /// Shard index (-1 when not part of a sharded fabric).
+  int shard_index() const { return tag_.index; }
 
  private:
   void Loop();
 
   const ServeConfig config_;
   ModelServer* const models_;
+  const ShardTag tag_;
   RequestQueue queue_;
+
+  /// Per-shard metric handles; null when tag_.index < 0. Owned by the
+  /// global registry (stable for process lifetime).
+  obs::Counter* shard_requests_ = nullptr;
+  obs::Counter* shard_sheds_ = nullptr;
+  obs::Counter* shard_batches_ = nullptr;
+  obs::Counter* shard_batched_items_ = nullptr;
+  obs::Counter* shard_degraded_ = nullptr;
+  /// Span name "serve.shard<k>"; stored so the const char* outlives spans.
+  std::string shard_span_name_;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> sheds_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> swaps_applied_{0};
+  std::atomic<uint64_t> net_seq_{0};
 
   std::thread loop_;
   std::atomic<bool> stopped_{false};

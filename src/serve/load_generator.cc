@@ -106,7 +106,7 @@ double PercentileNearestRank(std::vector<double> samples, double q) {
 }
 
 LoadReport RunServedLoad(const std::vector<const Instance*>& instances,
-                         DispatchService* service,
+                         DecisionService* service,
                          const LoadOptions& options) {
   DPDP_CHECK(service != nullptr);
   return RunClients(

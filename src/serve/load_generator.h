@@ -40,14 +40,17 @@ struct LoadReport {
   double p99_us = 0.0;
 };
 
-/// Runs one closed-loop client per instance against `service`, all
-/// concurrently on a private thread pool with one thread per client (so N
-/// campuses genuinely interleave even when DPDP_THREADS = 1), and reports
-/// merged throughput/latency. Client i's episode results depend only on
-/// (instances[i], options) — never on which other clients shared the run —
-/// because batched evaluation is bit-identical to per-item evaluation.
+/// Runs one closed-loop client per instance against `service` (a single
+/// DispatchService or a ShardRouter fabric), all concurrently on a private
+/// thread pool with one thread per client (so N campuses genuinely
+/// interleave even when DPDP_THREADS = 1), and reports merged
+/// throughput/latency. Passing the same Instance* several times models
+/// several concurrent clients of one campus. Client i's episode results
+/// depend only on (instances[i], options) — never on which other clients
+/// shared the run, nor on how many shards served it — because batched
+/// evaluation is bit-identical to per-item evaluation.
 LoadReport RunServedLoad(const std::vector<const Instance*>& instances,
-                         DispatchService* service,
+                         DecisionService* service,
                          const LoadOptions& options);
 
 /// The unbatched baseline: the same closed-loop clients, each owning a

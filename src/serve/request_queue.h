@@ -24,6 +24,7 @@ struct ServeReply {
   bool shed = false;      ///< Answered by admission control, not the model.
   bool degraded = false;  ///< vehicle == -1 (poisoned model output).
   uint64_t model_seq = 0; ///< Snapshot that scored (or shed) the request.
+  int shard = -1;         ///< Answering shard (-1 outside a sharded fabric).
 };
 
 /// One queued decision request. The context is borrowed: the submitter

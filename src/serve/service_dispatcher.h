@@ -11,11 +11,12 @@
 
 namespace dpdp::serve {
 
-/// Adapts a DispatchService to the simulator's Dispatcher interface: one
-/// ChooseVehicle = one Submit + blocking wait on the reply. This is the
-/// indirection that lets any Simulator run "backed by the service" instead
-/// of owning an agent — the simulator neither knows nor cares that its
-/// decision crossed a queue and came back from a shared batched evaluation.
+/// Adapts a DecisionService (one DispatchService, or a ShardRouter over N
+/// of them) to the simulator's Dispatcher interface: one ChooseVehicle =
+/// one Submit + blocking wait on the reply. This is the indirection that
+/// lets any Simulator run "backed by the service" instead of owning an
+/// agent — the simulator neither knows nor cares that its decision crossed
+/// a queue (or a sharded fabric) and came back from a batched evaluation.
 ///
 /// A degraded reply (vehicle -1) is returned as -1, so the simulator
 /// performs its own greedy fallback and counts the degradation exactly as
@@ -23,7 +24,7 @@ namespace dpdp::serve {
 /// simulator (the service behind it is the shared, thread-safe part).
 class ServiceDispatcher : public Dispatcher {
  public:
-  explicit ServiceDispatcher(DispatchService* service,
+  explicit ServiceDispatcher(DecisionService* service,
                              std::string name = "served")
       : service_(service), name_(std::move(name)) {}
 
@@ -46,7 +47,7 @@ class ServiceDispatcher : public Dispatcher {
   long degraded() const { return degraded_; }
 
  private:
-  DispatchService* const service_;
+  DecisionService* const service_;
   const std::string name_;
   std::vector<double> latencies_s_;
   long sheds_ = 0;

@@ -1,0 +1,108 @@
+#include "serve/shard_router.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/env.h"
+#include "util/log.h"
+
+namespace dpdp::serve {
+
+const char* RouterPolicyName(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kCampusHash:
+      return "hash";
+    case RouterPolicy::kRoundRobin:
+      return "rr";
+  }
+  return "?";
+}
+
+ShardedServeConfig ShardedServeConfigFromEnv() {
+  ShardedServeConfig config;
+  config.num_shards = EnvInt("DPDP_SERVE_SHARDS", config.num_shards);
+  const std::string policy = EnvStr("DPDP_SERVE_ROUTER", "hash");
+  if (policy == "rr" || policy == "round_robin") {
+    config.policy = RouterPolicy::kRoundRobin;
+  } else {
+    if (policy != "hash") {
+      DPDP_LOG(WARN) << "unknown DPDP_SERVE_ROUTER '" << policy
+                     << "', using hash";
+    }
+    config.policy = RouterPolicy::kCampusHash;
+  }
+  config.shard = ServeConfigFromEnv();
+  return config;
+}
+
+uint64_t CampusHash(std::string_view campus_name) {
+  // FNV-1a 64: tiny, allocation-free, and stable across platforms — the
+  // campus -> shard partition is part of the fabric's observable contract.
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : campus_name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ShardRouter::ShardRouter(const ShardedServeConfig& config, ModelServer* models)
+    : config_(config) {
+  DPDP_CHECK(config_.num_shards >= 1);
+  DPDP_CHECK(models != nullptr);
+  shards_.reserve(config_.num_shards);
+  for (int k = 0; k < config_.num_shards; ++k) {
+    shards_.push_back(std::make_unique<DispatchService>(config_.shard, models,
+                                                        ShardTag{k}));
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.shards")
+      ->Set(static_cast<double>(config_.num_shards));
+}
+
+ShardRouter::~ShardRouter() { Stop(); }
+
+int ShardRouter::ShardOfCampus(std::string_view campus_name) const {
+  return static_cast<int>(CampusHash(campus_name) %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+int ShardRouter::ShardOf(const DispatchContext& context) {
+  if (config_.policy == RouterPolicy::kRoundRobin) {
+    return static_cast<int>(
+        round_robin_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<uint64_t>(shards_.size()));
+  }
+  DPDP_CHECK(context.instance != nullptr);
+  return ShardOfCampus(context.instance->name);
+}
+
+std::future<ServeReply> ShardRouter::Submit(const DispatchContext& context) {
+  return shards_[ShardOf(context)]->Submit(context);
+}
+
+void ShardRouter::Stop() {
+  for (std::unique_ptr<DispatchService>& shard : shards_) shard->Stop();
+}
+
+RouterStats ShardRouter::Stats() const {
+  RouterStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const std::unique_ptr<DispatchService>& shard : shards_) {
+    ShardStats s;
+    s.requests = shard->requests();
+    s.sheds = shard->sheds();
+    s.batches = shard->batches();
+    s.degraded = shard->degraded();
+    s.swaps_applied = shard->swaps_applied();
+    stats.total.requests += s.requests;
+    stats.total.sheds += s.sheds;
+    stats.total.batches += s.batches;
+    stats.total.degraded += s.degraded;
+    stats.total.swaps_applied += s.swaps_applied;
+    stats.shards.push_back(s);
+  }
+  return stats;
+}
+
+}  // namespace dpdp::serve

@@ -1,0 +1,133 @@
+#ifndef DPDP_SERVE_SHARD_ROUTER_H_
+#define DPDP_SERVE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/dispatch_service.h"
+#include "serve/model_server.h"
+
+namespace dpdp::serve {
+
+/// How the router picks a shard for an incoming request.
+enum class RouterPolicy {
+  /// Stable hash of the campus name (Instance::name): every request of a
+  /// campus lands on the same shard for the process lifetime, so a shard
+  /// owns a fixed partition of the city. This is the production policy —
+  /// it keeps per-campus request streams FIFO through one queue and makes
+  /// per-shard load a pure function of the campus -> shard map.
+  kCampusHash,
+  /// Strict rotation over shards per request. Spreads load evenly even
+  /// when the campus population is skewed; correct because batching is
+  /// decision-invariant (any shard computes the same answer from the same
+  /// snapshot seq), but a campus's requests then interleave across all
+  /// queues. Mostly a stress/verification policy.
+  kRoundRobin,
+};
+
+const char* RouterPolicyName(RouterPolicy policy);
+
+/// Shape of a sharded fabric: how many shards, how requests are routed,
+/// and the per-shard service policy.
+struct ShardedServeConfig {
+  /// Number of DispatchService shards (>= 1). 1 degenerates exactly to
+  /// the single-service path: one queue, one loop, one net replica.
+  int num_shards = 1;
+  RouterPolicy policy = RouterPolicy::kCampusHash;
+  /// Per-shard micro-batching policy + admission bound. Note the queue
+  /// capacity is PER SHARD: a fabric of N shards admits up to
+  /// N * shard.queue_capacity requests before shedding.
+  ServeConfig shard;
+};
+
+/// Fills a ShardedServeConfig from DPDP_SERVE_SHARDS ("1"..) and
+/// DPDP_SERVE_ROUTER ("hash" | "rr"), with the per-shard policy taken
+/// from ServeConfigFromEnv().
+ShardedServeConfig ShardedServeConfigFromEnv();
+
+/// FNV-1a 64-bit hash of a campus name — the stable campus -> shard map
+/// behind RouterPolicy::kCampusHash. Deliberately not std::hash (which is
+/// implementation-defined): the partition must be identical across
+/// platforms and processes so sharded runs are reproducible.
+uint64_t CampusHash(std::string_view campus_name);
+
+/// Per-shard counter rollup (instance totals, not the global registry).
+struct ShardStats {
+  uint64_t requests = 0;
+  uint64_t sheds = 0;
+  uint64_t batches = 0;
+  uint64_t degraded = 0;
+  uint64_t swaps_applied = 0;
+};
+
+struct RouterStats {
+  std::vector<ShardStats> shards;  ///< Index = shard index.
+  ShardStats total;                ///< Element-wise sum over shards.
+};
+
+/// The sharded dispatch fabric: N DispatchService shards, each owning its
+/// own RequestQueue, service loop and net replica, all synced from ONE
+/// shared ModelServer (one checkpoint watcher, N snapshot subscribers).
+/// Submit routes a request to its shard and returns the shard's future —
+/// the router adds no queue, no thread and no lock of its own beyond a
+/// relaxed round-robin cursor.
+///
+/// Correctness: a served decision is a pure function of (request context,
+/// snapshot weights) — the batching invariant — so WHICH shard evaluates a
+/// request never changes the answer, only the wall-clock cost. That is
+/// what makes the 1-vs-N-shard golden test meaningful: same seed set, any
+/// shard count, bitwise-identical per-campus episodes.
+///
+/// Admission control stays per shard: a hot shard sheds while cold shards
+/// keep admitting (no global backpressure). Aggregate serve.* metrics are
+/// shared by all shards; per-shard counters are published under
+/// serve.shard<k>.* so the registry rollup satisfies
+/// serve.requests == sum_k serve.shard<k>.requests whenever all traffic
+/// flows through tagged shards.
+class ShardRouter : public DecisionService {
+ public:
+  /// `models` must outlive the router. Spawns config.num_shards service
+  /// loops immediately.
+  ShardRouter(const ShardedServeConfig& config, ModelServer* models);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes to ShardOf(context) and submits there. Thread-safe.
+  std::future<ServeReply> Submit(const DispatchContext& context) override;
+
+  /// The shard the next submission of `context` goes to. For kCampusHash
+  /// this is a pure function of the campus name; for kRoundRobin it
+  /// advances the rotation cursor (so calling it consumes the slot).
+  int ShardOf(const DispatchContext& context);
+
+  /// The kCampusHash partition map, usable without a context.
+  int ShardOfCampus(std::string_view campus_name) const;
+
+  /// Stops every shard: closes admission, drains queued requests, joins
+  /// the loops. Idempotent; the destructor calls it.
+  void Stop();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardedServeConfig& config() const { return config_; }
+  DispatchService& shard(int k) { return *shards_[k]; }
+  const DispatchService& shard(int k) const { return *shards_[k]; }
+
+  /// Point-in-time rollup of every shard's instance counters.
+  RouterStats Stats() const;
+
+ private:
+  const ShardedServeConfig config_;
+  std::vector<std::unique_ptr<DispatchService>> shards_;
+  std::atomic<uint64_t> round_robin_{0};
+};
+
+}  // namespace dpdp::serve
+
+#endif  // DPDP_SERVE_SHARD_ROUTER_H_

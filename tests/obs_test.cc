@@ -113,6 +113,73 @@ TEST(Histogram, QuantileInterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(obs::HistogramQuantile(counter, 0.5), 0.0);
 }
 
+// Regression tests for the HistogramQuantile edge cases that used to be
+// ill-defined: cold histograms, p0/p100, mass concentrated in one bucket,
+// boundless histograms, and overflow-dominated distributions. The load
+// generator reports per-shard percentiles straight from these snapshots,
+// so a cold shard (zero samples) must yield a well-defined 0, not UB.
+TEST(Histogram, QuantileEdgeCases) {
+  obs::MetricSnapshot snap;
+  snap.kind = obs::MetricSnapshot::Kind::kHistogram;
+  snap.bounds = {1.0, 2.0, 5.0, 10.0};
+
+  // Cold shard: no samples at all — every quantile is 0.
+  snap.buckets = {0, 0, 0, 0, 0};
+  snap.count = 0;
+  snap.sum = 0.0;
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, q), 0.0) << "q=" << q;
+  }
+
+  // p0 is the lower edge of the first NON-EMPTY bucket (not of bucket 0),
+  // p100 the upper edge of the last non-empty one (trailing empties and
+  // an empty overflow bucket must not drag it to the final bound).
+  snap.buckets = {0, 4, 0, 0, 0};  // All mass in (1, 2].
+  snap.count = 4;
+  snap.sum = 6.0;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 1.0), 2.0);
+
+  // Single-bucket mass: every quantile interpolates inside that bucket,
+  // monotonically in q.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.5), 1.5);
+  double prev = -1.0;
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double v = obs::HistogramQuantile(snap, q);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 2.0);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    prev = v;
+  }
+
+  // q outside [0, 1] clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, -0.5),
+                   obs::HistogramQuantile(snap, 0.0));
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 1.5),
+                   obs::HistogramQuantile(snap, 1.0));
+
+  // A boundless histogram (only the overflow bucket) has no positional
+  // information: the sample mean is the estimate for every q.
+  obs::MetricSnapshot boundless;
+  boundless.kind = obs::MetricSnapshot::Kind::kHistogram;
+  boundless.bounds = {};
+  boundless.buckets = {5};
+  boundless.count = 5;
+  boundless.sum = 35.0;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(boundless, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(boundless, 1.0), 7.0);
+
+  // Overflow-dominated mass: the clamp uses the mean when it exceeds the
+  // last bound (plain clamping would systematically under-report), and
+  // the last bound otherwise.
+  snap.buckets = {0, 0, 0, 0, 3};
+  snap.count = 3;
+  snap.sum = 3000.0;  // Mean 1000 >> last bound 10.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.99), 1000.0);
+  snap.sum = 9.0;  // Mean 3 < last bound 10: clamp to the bound.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(snap, 0.99), 10.0);
+}
+
 TEST(Histogram, ConcurrentRecordsSumExactly) {
   obs::Histogram h("test.hist_conc", obs::LatencyBucketsSeconds());
   constexpr int kThreads = 8;
