@@ -29,7 +29,7 @@
 ///   rl/      DQN/DDQN/AC/DGN/ST-DDGN agents (Algorithm 3)
 ///   exact/   branch-and-bound optimal PDP solver
 ///   serve/   online dispatch fabric (micro-batching, sharding, hot-swap,
-///            shedding)
+///            shedding, deadlines, chaos + supervised failover)
 ///   exp/     experiment harness shared by the bench binaries
 
 #include "baselines/greedy_baselines.h"
@@ -54,11 +54,14 @@
 #include "rl/trainer.h"
 #include "routing/local_search.h"
 #include "routing/route_planner.h"
+#include "serve/chaos.h"
+#include "serve/circuit_breaker.h"
 #include "serve/dispatch_service.h"
 #include "serve/load_generator.h"
 #include "serve/model_server.h"
 #include "serve/service_dispatcher.h"
 #include "serve/shard_router.h"
+#include "serve/shard_supervisor.h"
 #include "sim/dispatcher.h"
 #include "sim/simulator.h"
 #include "stpred/divergence.h"

@@ -12,6 +12,7 @@
 #include "rl/state.h"
 #include "util/env.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace dpdp::serve {
 namespace {
@@ -20,12 +21,26 @@ struct ServeMetrics {
   obs::Counter* requests =
       obs::MetricsRegistry::Global().GetCounter("serve.requests");
   obs::Counter* shed = obs::MetricsRegistry::Global().GetCounter("serve.shed");
+  obs::Counter* shed_closed =
+      obs::MetricsRegistry::Global().GetCounter("serve.shed_closed");
   obs::Counter* batches =
       obs::MetricsRegistry::Global().GetCounter("serve.batches");
   obs::Counter* batched_items =
       obs::MetricsRegistry::Global().GetCounter("serve.batched_items");
   obs::Counter* degraded =
       obs::MetricsRegistry::Global().GetCounter("serve.degraded");
+  obs::Counter* deadline_exceeded =
+      obs::MetricsRegistry::Global().GetCounter("serve.deadline_exceeded");
+  obs::Counter* rerouted =
+      obs::MetricsRegistry::Global().GetCounter("serve.rerouted");
+  obs::Counter* restarts =
+      obs::MetricsRegistry::Global().GetCounter("serve.restarts");
+  obs::Counter* chaos_stalls =
+      obs::MetricsRegistry::Global().GetCounter("serve.chaos.stalls");
+  obs::Counter* chaos_slowdowns =
+      obs::MetricsRegistry::Global().GetCounter("serve.chaos.slowdowns");
+  obs::Counter* chaos_crashes =
+      obs::MetricsRegistry::Global().GetCounter("serve.chaos.crashes");
   obs::Histogram* batch_size = obs::MetricsRegistry::Global().GetHistogram(
       "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
   obs::Histogram* queue_wait = obs::MetricsRegistry::Global().GetHistogram(
@@ -52,6 +67,9 @@ ServeConfig ServeConfigFromEnv() {
       EnvInt("DPDP_SERVE_QUEUE_CAP", config.queue_capacity);
   config.commit_us =
       EnvInt("DPDP_SERVE_COMMIT_US", static_cast<int>(config.commit_us));
+  config.deadline_us =
+      EnvInt("DPDP_SERVE_DEADLINE_US", static_cast<int>(config.deadline_us));
+  config.chaos = ChaosConfigFromEnv();
   return config;
 }
 
@@ -62,54 +80,171 @@ DispatchService::DispatchService(const ServeConfig& config,
       tag_(tag),
       queue_(config.queue_capacity) {
   DPDP_CHECK(models_ != nullptr);
+  if (config_.chaos.any()) chaos_.emplace(config_.chaos);
   if (tag_.index >= 0) {
     const std::string prefix = "serve.shard" + std::to_string(tag_.index);
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     shard_requests_ = registry.GetCounter(prefix + ".requests");
     shard_sheds_ = registry.GetCounter(prefix + ".shed");
+    shard_sheds_closed_ = registry.GetCounter(prefix + ".shed_closed");
     shard_batches_ = registry.GetCounter(prefix + ".batches");
     shard_batched_items_ = registry.GetCounter(prefix + ".batched_items");
     shard_degraded_ = registry.GetCounter(prefix + ".degraded");
+    shard_deadline_exceeded_ =
+        registry.GetCounter(prefix + ".deadline_exceeded");
+    shard_rerouted_ = registry.GetCounter(prefix + ".rerouted");
+    shard_restarts_ = registry.GetCounter(prefix + ".restarts");
     shard_span_name_ = prefix;
   }
+  heartbeat_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
   loop_ = std::thread([this] { Loop(); });
 }
 
 DispatchService::~DispatchService() { Stop(); }
 
-std::future<ServeReply> DispatchService::Submit(
-    const DispatchContext& context) {
+DecisionRequest DispatchService::MakeRequest(
+    const DispatchContext& context) const {
   DecisionRequest request;
   request.context = &context;
   request.enqueue_time = std::chrono::steady_clock::now();
+  if (config_.deadline_us > 0) {
+    request.deadline =
+        request.enqueue_time + std::chrono::microseconds(config_.deadline_us);
+    request.has_deadline = true;
+  }
+  return request;
+}
+
+std::future<ServeReply> DispatchService::Submit(
+    const DispatchContext& context) {
+  DecisionRequest request = MakeRequest(context);
   std::future<ServeReply> fut = request.reply.get_future();
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  Metrics().requests->Add();
-  if (shard_requests_ != nullptr) shard_requests_->Add();
-  if (!queue_.TryPush(std::move(request))) {
+  CountRequest();
+  const PushResult result = queue_.TryPush(std::move(request));
+  if (result != PushResult::kAdmitted) {
     // Shed: answer right here on the caller's thread with the emergency
     // rule. Overload slows one caller down by one greedy scan; it never
     // wedges the service or blocks the queue.
-    ServeReply reply;
-    reply.vehicle = GreedyInsertionFallback(context);
-    reply.shed = true;
-    reply.model_seq = models_->current_seq();
-    reply.shard = tag_.index;
-    sheds_.fetch_add(1, std::memory_order_relaxed);
-    Metrics().shed->Add();
-    if (shard_sheds_ != nullptr) shard_sheds_->Add();
-    request.reply.set_value(reply);
+    AnswerShed(&request, /*closed_reject=*/result == PushResult::kClosed);
   }
   return fut;
 }
 
-void DispatchService::Stop() {
-  if (stopped_.exchange(true)) {
-    if (loop_.joinable()) loop_.join();
-    return;
+std::future<ServeReply> DispatchService::SubmitWithDeadline(
+    const DispatchContext& context,
+    std::chrono::steady_clock::time_point deadline) {
+  DecisionRequest request = MakeRequest(context);
+  request.deadline = deadline;
+  request.has_deadline = true;
+  std::future<ServeReply> fut = request.reply.get_future();
+  CountRequest();
+  if (std::chrono::steady_clock::now() >= deadline) {
+    // Already expired at push: never worth a queue slot.
+    AnswerDeadline(&request);
+    return fut;
   }
+  const PushResult result = queue_.TryPush(std::move(request));
+  if (result != PushResult::kAdmitted) {
+    AnswerShed(&request, /*closed_reject=*/result == PushResult::kClosed);
+  }
+  return fut;
+}
+
+PushResult DispatchService::Admit(DecisionRequest* request) {
+  const PushResult result = queue_.TryPush(std::move(*request));
+  // A closed shard never saw the request: the router re-routes it to a
+  // live shard, which does the counting. Admitted and shed (kFull)
+  // requests are this shard's traffic.
+  if (result != PushResult::kClosed) CountRequest();
+  return result;
+}
+
+PushResult DispatchService::Readmit(DecisionRequest* request) {
+  return queue_.TryPush(std::move(*request));
+}
+
+void DispatchService::CountRequest() {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().requests->Add();
+  if (shard_requests_ != nullptr) shard_requests_->Add();
+}
+
+void DispatchService::AnswerShed(DecisionRequest* request,
+                                 bool closed_reject) {
+  ServeReply reply;
+  reply.vehicle = GreedyInsertionFallback(*request->context);
+  reply.shed = true;
+  reply.model_seq = models_->current_seq();
+  reply.shard = tag_.index;
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().shed->Add();
+  if (shard_sheds_ != nullptr) shard_sheds_->Add();
+  if (closed_reject) {
+    sheds_closed_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed_closed->Add();
+    if (shard_sheds_closed_ != nullptr) shard_sheds_closed_->Add();
+  }
+  request->reply.set_value(reply);
+}
+
+void DispatchService::AnswerDeadline(DecisionRequest* request) {
+  ServeReply reply;
+  reply.vehicle = GreedyInsertionFallback(*request->context);
+  reply.deadline_exceeded = true;
+  reply.model_seq = models_->current_seq();
+  reply.shard = tag_.index;
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().deadline_exceeded->Add();
+  if (shard_deadline_exceeded_ != nullptr) shard_deadline_exceeded_->Add();
+  request->reply.set_value(reply);
+}
+
+void DispatchService::CountReroute() {
+  rerouted_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().rerouted->Add();
+  if (shard_rerouted_ != nullptr) shard_rerouted_->Add();
+}
+
+void DispatchService::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  stopped_.store(true);
   queue_.Close();
   if (loop_.joinable()) loop_.join();
+  // A crashed loop exits without draining; its in-hand batch was requeued.
+  // Answer that backlog through the closed-shed path so no promise is ever
+  // abandoned — the one thing the fabric never does is lose a reply.
+  std::vector<DecisionRequest> leftovers;
+  while (queue_.PopBatch(&leftovers, config_.max_batch, 0) > 0) {
+    for (DecisionRequest& request : leftovers) {
+      AnswerShed(&request, /*closed_reject=*/true);
+    }
+  }
+}
+
+bool DispatchService::Restart(std::vector<DecisionRequest>* orphans) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_.load() || !crashed_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  // Collect the dead loop, then drain the orphaned backlog: everything
+  // admitted before (or while) the shard was down goes to the caller for
+  // rerouting with its promise intact.
+  queue_.Close();
+  if (loop_.joinable()) loop_.join();
+  std::vector<DecisionRequest> batch;
+  while (queue_.PopBatch(&batch, config_.max_batch, 0) > 0) {
+    for (DecisionRequest& request : batch) {
+      orphans->push_back(std::move(request));
+    }
+  }
+  queue_.Reopen();
+  crashed_.store(false, std::memory_order_release);
+  heartbeat_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().restarts->Add();
+  if (shard_restarts_ != nullptr) shard_restarts_->Add();
+  loop_ = std::thread([this] { Loop(); });
+  return true;
 }
 
 void DispatchService::Loop() {
@@ -119,7 +254,9 @@ void DispatchService::Loop() {
   // matrices. N shard loops syncing from the same ModelServer are N
   // independent subscribers of the one hot-swap channel: each holds its
   // own replica, and a Publish reaches every shard at its next batch
-  // boundary without any cross-shard coordination.
+  // boundary without any cross-shard coordination. A restarted loop builds
+  // a FRESH replica here and syncs it at its first batch — which is what
+  // "resync from the model server" means for an in-process shard.
   Rng scratch(models_->config().seed);
   std::unique_ptr<FleetQNetwork> net = MakeQNetwork(models_->config(), &scratch);
   const AgentConfig& agent_config = models_->config();
@@ -127,18 +264,68 @@ void DispatchService::Loop() {
   uint64_t net_seq = 0;
 
   std::vector<DecisionRequest> requests;
+  std::vector<DecisionRequest> live;
   std::vector<FleetState> states;
   std::vector<std::vector<int>> indices;
   DecisionBatch batch;
   ServeMetrics& metrics = Metrics();
 
-  while (queue_.PopBatch(&requests, config_.max_batch, config_.max_wait_us) >
-         0) {
+  for (;;) {
+    heartbeat_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+    if (queue_.PopBatch(&requests, config_.max_batch, config_.max_wait_us) ==
+        0) {
+      return;  // Closed and drained.
+    }
+    heartbeat_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+    const uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
+    if (chaos_) {
+      switch (chaos_->ActionAt(tag_.index, tick)) {
+        case ChaosAction::kCrash:
+          // Die the way a killed worker dies — abruptly, but with the
+          // in-hand batch requeued first so the supervisor's drain sees
+          // every admitted request. The queue stays OPEN: requests keep
+          // accumulating while the shard is down, exactly the backlog a
+          // real restart has to cope with.
+          metrics.chaos_crashes->Add();
+          queue_.Requeue(&requests);
+          crashed_.store(true, std::memory_order_release);
+          return;
+        case ChaosAction::kStall:
+          metrics.chaos_stalls->Add();
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(chaos_->config().stall_us));
+          break;
+        case ChaosAction::kEvalSlowdown:
+          metrics.chaos_slowdowns->Add();
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(chaos_->config().slow_us));
+          break;
+        case ChaosAction::kNone:
+          break;
+      }
+    }
+
     DPDP_TRACE_SPAN("serve.batch");
     // Per-shard span annotation: the same batch shows up under its shard's
     // own name so a trace viewer separates the N loops.
     std::optional<obs::TraceSpan> shard_span;
     if (!shard_span_name_.empty()) shard_span.emplace(shard_span_name_.c_str());
+
+    // Deadline triage: requests that aged out while queued (or while the
+    // loop was stalled) get the greedy fallback immediately; only the
+    // survivors pay for an evaluation. With no deadlines configured this
+    // is a straight pass-through.
+    live.clear();
+    const auto triage_now = std::chrono::steady_clock::now();
+    for (DecisionRequest& request : requests) {
+      if (request.has_deadline && triage_now >= request.deadline) {
+        AnswerDeadline(&request);
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    if (live.empty()) continue;
+
     const auto start = std::chrono::steady_clock::now();
     std::shared_ptr<const ModelSnapshot> snapshot = models_->Current();
     if (!synced_once || snapshot->seq != net_seq) {
@@ -153,15 +340,15 @@ void DispatchService::Loop() {
       synced_once = true;
     }
 
-    const int n = static_cast<int>(requests.size());
+    const int n = static_cast<int>(live.size());
     states.resize(n);
     indices.resize(n);
     batch.Clear();
     for (int i = 0; i < n; ++i) {
       metrics.queue_wait->Record(
-          std::chrono::duration<double>(start - requests[i].enqueue_time)
+          std::chrono::duration<double>(start - live[i].enqueue_time)
               .count());
-      states[i] = BuildFleetState(*requests[i].context, agent_config);
+      states[i] = BuildFleetState(*live[i].context, agent_config);
       indices[i] = InferenceIndices(states[i], agent_config);
       AppendSubFleetInputs(states[i], indices[i], agent_config.use_graph,
                            agent_config.num_neighbors, &batch);
@@ -198,7 +385,7 @@ void DispatchService::Loop() {
         metrics.degraded->Add();
         if (shard_degraded_ != nullptr) shard_degraded_->Add();
       }
-      requests[i].reply.set_value(reply);
+      live[i].reply.set_value(reply);
     }
     batches_.fetch_add(1, std::memory_order_relaxed);
     metrics.batches->Add();

@@ -120,6 +120,7 @@ LoadReport RunServedLoad(const std::vector<const Instance*>& instances,
         out->latencies_s = dispatcher.latencies_s();
         out->sheds = dispatcher.sheds();
         out->degraded = dispatcher.degraded();
+        out->deadline_exceeded = dispatcher.deadline_exceeded();
       });
 }
 

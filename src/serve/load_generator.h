@@ -25,6 +25,7 @@ struct ClientOutcome {
   std::vector<double> latencies_s;
   long sheds = 0;
   long degraded = 0;
+  long deadline_exceeded = 0;
 };
 
 /// Aggregate of one load run.

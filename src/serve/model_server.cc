@@ -24,6 +24,8 @@ struct ModelMetrics {
       obs::MetricsRegistry::Global().GetCounter("serve.model_invalid_skips");
   obs::Counter* polls =
       obs::MetricsRegistry::Global().GetCounter("serve.model_polls");
+  obs::Counter* ckpt_rejected =
+      obs::MetricsRegistry::Global().GetCounter("serve.ckpt_rejected");
   obs::Gauge* seq = obs::MetricsRegistry::Global().GetGauge("serve.model_seq");
 };
 
@@ -92,6 +94,50 @@ Status ModelServer::LoadCheckpointFile(const std::string& path) {
   return Status::OK();
 }
 
+bool ModelServer::IsQuarantined(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  const auto it = probe_failures_.find(path);
+  return it != probe_failures_.end() && it->second.quarantined;
+}
+
+bool ModelServer::ShouldSkipQuarantined(const std::string& path,
+                                        std::uintmax_t size, int64_t mtime) {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  const auto it = probe_failures_.find(path);
+  if (it == probe_failures_.end() || !it->second.quarantined) return false;
+  if (it->second.size == size && it->second.mtime == mtime) return true;
+  // The writer replaced the file: lift the quarantine, probe it fresh.
+  probe_failures_.erase(it);
+  return false;
+}
+
+void ModelServer::RecordProbeFailure(const std::string& path,
+                                     std::uintmax_t size, int64_t mtime) {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  ProbeFailures& entry = probe_failures_[path];
+  if (entry.failures > 0 && (entry.size != size || entry.mtime != mtime)) {
+    entry = ProbeFailures{};  // New content: fresh streak.
+  }
+  entry.size = size;
+  entry.mtime = mtime;
+  if (++entry.failures < kQuarantineProbeLimit) return;
+  // Persistently corrupt: get it out of the poll loop for good. Rename to
+  // *.bad (outside the watcher's *.ckpt glob) keeps the bytes around for a
+  // post-mortem; if the rename fails (read-only dir), skip-list in memory.
+  std::error_code rename_ec;
+  std::filesystem::rename(path, path + ".bad", rename_ec);
+  DPDP_LOG(WARN) << "serve: checkpoint " << path << " failed "
+                 << entry.failures << " probes, quarantined"
+                 << (rename_ec ? " (skip-listed; rename failed)"
+                               : " (renamed to .bad)");
+  Metrics().ckpt_rejected->Add();
+  if (rename_ec) {
+    entry.quarantined = true;
+  } else {
+    probe_failures_.erase(path);  // The path no longer exists.
+  }
+}
+
 int ModelServer::PollOnce(const std::string& model_dir) {
   Metrics().polls->Add();
   const uint64_t have = current_seq();
@@ -104,12 +150,25 @@ int ModelServer::PollOnce(const std::string& model_dir) {
     if (!entry.is_regular_file(ec) || ec) continue;
     if (entry.path().extension() != ".ckpt") continue;  // Skips .tmp files.
     const std::string path = entry.path().string();
+    std::error_code stat_ec;
+    const std::uintmax_t size = entry.file_size(stat_ec);
+    const int64_t mtime =
+        stat_ec ? 0
+                : static_cast<int64_t>(
+                      entry.last_write_time(stat_ec).time_since_epoch().count());
+    if (ShouldSkipQuarantined(path, size, mtime)) continue;
     Result<CheckpointInfo> info = ReadCheckpointInfo(path);
     if (!info.ok()) {
       // Torn/corrupt/foreign file: count and move on. The CRC footer is
-      // what makes mtime irrelevant here.
+      // what makes mtime irrelevant here. Repeated failures of the SAME
+      // bytes quarantine the file so it stops costing a read per poll.
       Metrics().invalid_skips->Add();
+      RecordProbeFailure(path, size, mtime);
       continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(quarantine_mu_);
+      probe_failures_.erase(path);  // Healthy probe clears the streak.
     }
     if (info.value().seq > best_seq) {
       best_seq = info.value().seq;

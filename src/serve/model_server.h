@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,6 +42,15 @@ struct ModelSnapshot {
 /// and is skipped, an old file re-appearing (copy, restore) has a smaller
 /// seq and is skipped, and the `.tmp` staging files of an in-progress
 /// atomic save are never considered at all.
+///
+/// Quarantine: a file that fails its probe is retried on later polls (it
+/// may be a writer race that resolves), but only kQuarantineProbeLimit
+/// times. A file still failing then is persistently corrupt, and
+/// re-reading it every poll is wasted I/O forever — it is quarantined:
+/// renamed to `<path>.bad` (out of the watcher's glob), or skip-listed in
+/// memory when the rename fails (read-only directory). Either way it is
+/// counted once in serve.ckpt_rejected. A quarantined path is probed
+/// again only if its size or mtime changes (a writer replaced it).
 class ModelServer {
  public:
   explicit ModelServer(const AgentConfig& config);
@@ -80,8 +90,35 @@ class ModelServer {
   const AgentConfig& config() const { return config_; }
   uint64_t current_seq() const { return Current()->seq; }
 
+  /// Consecutive probe failures before a checkpoint file is quarantined.
+  static constexpr int kQuarantineProbeLimit = 3;
+
+  /// True while `path` is on the in-memory skip-list (rename-failed
+  /// quarantine). Renamed-away files are not listed — they are gone.
+  bool IsQuarantined(const std::string& path) const;
+
  private:
+  /// Probe-failure history of one checkpoint path. size/mtime fingerprint
+  /// the file content cheaply: any change resets the failure streak (the
+  /// writer replaced the file; give the new content a fresh chance).
+  struct ProbeFailures {
+    int failures = 0;
+    std::uintmax_t size = 0;
+    int64_t mtime = 0;
+    bool quarantined = false;  ///< Skip-listed (rename to .bad failed).
+  };
+
+  /// Returns true when `path` should be skipped without probing.
+  bool ShouldSkipQuarantined(const std::string& path, std::uintmax_t size,
+                             int64_t mtime);
+  /// Records a failed probe; quarantines the path at the limit.
+  void RecordProbeFailure(const std::string& path, std::uintmax_t size,
+                          int64_t mtime);
+
   const AgentConfig config_;
+
+  mutable std::mutex quarantine_mu_;
+  std::map<std::string, ProbeFailures> probe_failures_;
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const ModelSnapshot> snapshot_;

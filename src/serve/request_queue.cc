@@ -2,18 +2,32 @@
 
 #include <utility>
 
+#include "util/status.h"
+
 namespace dpdp::serve {
 
-bool RequestQueue::TryPush(DecisionRequest&& request) {
+PushResult RequestQueue::TryPush(DecisionRequest&& request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || static_cast<int>(queue_.size()) >= capacity_) {
-      return false;
+    if (closed_) return PushResult::kClosed;
+    if (static_cast<int>(queue_.size()) >= capacity_) {
+      return PushResult::kFull;
     }
     queue_.push_back(std::move(request));
   }
   cv_.notify_one();
-  return true;
+  return PushResult::kAdmitted;
+}
+
+void RequestQueue::Requeue(std::vector<DecisionRequest>* batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = batch->rbegin(); it != batch->rend(); ++it) {
+      queue_.push_front(std::move(*it));
+    }
+  }
+  batch->clear();
+  cv_.notify_all();
 }
 
 int RequestQueue::PopBatch(std::vector<DecisionRequest>* out, int max_batch,
@@ -54,9 +68,20 @@ void RequestQueue::Close() {
   cv_.notify_all();
 }
 
+void RequestQueue::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPDP_CHECK(queue_.empty());  // Reopen only after the backlog is drained.
+  closed_ = false;
+}
+
 size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
 }
 
 }  // namespace dpdp::serve

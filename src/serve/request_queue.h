@@ -23,6 +23,11 @@ struct ServeReply {
   int vehicle = -1;
   bool shed = false;      ///< Answered by admission control, not the model.
   bool degraded = false;  ///< vehicle == -1 (poisoned model output).
+  /// The request's deadline expired before the model could answer: the
+  /// reply carries the greedy-insertion fallback decision instead (a
+  /// bounded-latency approximate answer beats a late exact one). Distinct
+  /// from shed — the request WAS admitted; it just aged out.
+  bool deadline_exceeded = false;
   uint64_t model_seq = 0; ///< Snapshot that scored (or shed) the request.
   int shard = -1;         ///< Answering shard (-1 outside a sharded fabric).
 };
@@ -34,6 +39,20 @@ struct DecisionRequest {
   const DispatchContext* context = nullptr;
   std::promise<ServeReply> reply;
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Reply-by deadline (valid when has_deadline). Past it, the service
+  /// answers with the greedy fallback instead of the model.
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+};
+
+/// Outcome of a push attempt. kFull and kClosed are deliberately distinct:
+/// a full queue is transient overload (shed this request, keep routing
+/// here), a closed queue means the consumer is gone — a router should fail
+/// the shard over, not shed into a void.
+enum class PushResult {
+  kAdmitted,
+  kFull,    ///< At capacity: load-shed signal.
+  kClosed,  ///< Queue closed (shard stopping, crashed, or restarting).
 };
 
 /// Bounded MPSC admission queue with micro-batch pops. Producers TryPush
@@ -48,8 +67,16 @@ class RequestQueue {
 
   /// Enqueues `request` unless the queue is full or closed. On failure the
   /// request is left untouched (the caller still owns its promise and must
-  /// answer it via the shed path).
-  bool TryPush(DecisionRequest&& request);
+  /// answer it — shed, reroute, or fallback as policy dictates).
+  PushResult TryPush(DecisionRequest&& request);
+
+  /// Returns `batch` to the FRONT of the queue in order, ignoring the
+  /// capacity bound and the closed flag: these requests were already
+  /// admitted once, and dropping admitted work is the one thing the fabric
+  /// never does. The crash path of a chaos-injected service loop uses this
+  /// to put its popped batch back before dying, so the supervisor's drain
+  /// sees every outstanding request.
+  void Requeue(std::vector<DecisionRequest>* batch);
 
   /// Blocks until at least one request is queued (or the queue is closed),
   /// then collects up to `max_batch` requests into `out`. After the first
@@ -62,11 +89,17 @@ class RequestQueue {
   int PopBatch(std::vector<DecisionRequest>* out, int max_batch,
                long max_wait_us);
 
-  /// Wakes the consumer and makes further TryPush fail. Already-queued
-  /// requests remain poppable.
+  /// Wakes the consumer and makes further TryPush fail with kClosed.
+  /// Already-queued requests remain poppable.
   void Close();
 
+  /// Reverts Close so admission resumes — the supervised-restart path,
+  /// called after the old consumer is joined and the backlog drained.
+  /// Requires the queue to be empty.
+  void Reopen();
+
   size_t size() const;
+  bool closed() const;
 
  private:
   const int capacity_;

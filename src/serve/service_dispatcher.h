@@ -38,6 +38,7 @@ class ServiceDispatcher : public Dispatcher {
             .count());
     if (reply.shed) ++sheds_;
     if (reply.degraded) ++degraded_;
+    if (reply.deadline_exceeded) ++deadline_exceeded_;
     return reply.vehicle;
   }
 
@@ -45,6 +46,9 @@ class ServiceDispatcher : public Dispatcher {
   const std::vector<double>& latencies_s() const { return latencies_s_; }
   long sheds() const { return sheds_; }
   long degraded() const { return degraded_; }
+  /// Replies answered by the deadline fallback instead of the model — the
+  /// client-side mirror of the service's serve.deadline_exceeded counter.
+  long deadline_exceeded() const { return deadline_exceeded_; }
 
  private:
   DecisionService* const service_;
@@ -52,6 +56,7 @@ class ServiceDispatcher : public Dispatcher {
   std::vector<double> latencies_s_;
   long sheds_ = 0;
   long degraded_ = 0;
+  long deadline_exceeded_ = 0;
 };
 
 }  // namespace dpdp::serve

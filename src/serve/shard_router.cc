@@ -55,6 +55,7 @@ ShardRouter::ShardRouter(const ShardedServeConfig& config, ModelServer* models)
     shards_.push_back(std::make_unique<DispatchService>(config_.shard, models,
                                                         ShardTag{k}));
   }
+  tripped_.assign(config_.num_shards, false);
   obs::MetricsRegistry::Global()
       .GetGauge("serve.shards")
       ->Set(static_cast<double>(config_.num_shards));
@@ -77,8 +78,98 @@ int ShardRouter::ShardOf(const DispatchContext& context) {
   return ShardOfCampus(context.instance->name);
 }
 
+std::shared_ptr<const ShardRouter::Overlay> ShardRouter::CurrentOverlay()
+    const {
+  std::lock_guard<std::mutex> lock(overlay_mu_);
+  return overlay_;
+}
+
+void ShardRouter::RebuildOverlayLocked() {
+  bool any = false;
+  for (const bool t : tripped_) any = any || t;
+  if (!any) {
+    overlay_ = nullptr;  // All healthy: back to the overlay-free fast path.
+  } else {
+    auto overlay = std::make_shared<Overlay>();
+    const int n = num_shards();
+    overlay->redirect.resize(n);
+    for (int home = 0; home < n; ++home) {
+      int target = home;
+      if (tripped_[home]) {
+        // The next untripped shard, scanning upward with wraparound; if
+        // every shard is tripped, traffic stays home (and the closed-queue
+        // hop in Submit does what it can).
+        for (int i = 1; i < n; ++i) {
+          const int candidate = (home + i) % n;
+          if (!tripped_[candidate]) {
+            target = candidate;
+            break;
+          }
+        }
+      }
+      overlay->redirect[home] = target;
+    }
+    overlay_ = std::move(overlay);
+  }
+  overlay_epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardRouter::TripShard(int k) {
+  std::lock_guard<std::mutex> lock(overlay_mu_);
+  DPDP_CHECK(k >= 0 && k < num_shards());
+  if (tripped_[k]) return;
+  tripped_[k] = true;
+  RebuildOverlayLocked();
+}
+
+void ShardRouter::RestoreShard(int k) {
+  std::lock_guard<std::mutex> lock(overlay_mu_);
+  DPDP_CHECK(k >= 0 && k < num_shards());
+  if (!tripped_[k]) return;
+  tripped_[k] = false;
+  RebuildOverlayLocked();
+}
+
+bool ShardRouter::IsTripped(int k) const {
+  std::lock_guard<std::mutex> lock(overlay_mu_);
+  return tripped_[k];
+}
+
+int ShardRouter::RedirectOf(int home) const {
+  const std::shared_ptr<const Overlay> overlay = CurrentOverlay();
+  return overlay ? overlay->redirect[home] : home;
+}
+
 std::future<ServeReply> ShardRouter::Submit(const DispatchContext& context) {
-  return shards_[ShardOf(context)]->Submit(context);
+  const int home = ShardOf(context);
+  const std::shared_ptr<const Overlay> overlay = CurrentOverlay();
+  int target = overlay ? overlay->redirect[home] : home;
+  DispatchService& home_shard = *shards_[home];
+  DecisionRequest request = home_shard.MakeRequest(context);
+  std::future<ServeReply> fut = request.reply.get_future();
+  const int n = num_shards();
+  for (int hop = 0; hop < n; ++hop) {
+    DispatchService* shard = shards_[target].get();
+    const PushResult result = shard->Admit(&request);
+    if (result == PushResult::kAdmitted) {
+      if (target != home) home_shard.CountReroute();
+      return fut;
+    }
+    if (result == PushResult::kFull) {
+      // Transient overload at the target: shed there (Admit counted the
+      // request against it), exactly the single-shard policy.
+      shard->AnswerShed(&request, /*closed_reject=*/false);
+      return fut;
+    }
+    // kClosed: the target is down (crashed or restarting) and never saw
+    // the request — hop to the next shard.
+    target = (target + 1) % n;
+  }
+  // Every queue closed: the fabric is stopping. Count the request and the
+  // shed against the home shard so the rollup still balances.
+  home_shard.CountRequest();
+  home_shard.AnswerShed(&request, /*closed_reject=*/true);
+  return fut;
 }
 
 void ShardRouter::Stop() {
@@ -92,13 +183,21 @@ RouterStats ShardRouter::Stats() const {
     ShardStats s;
     s.requests = shard->requests();
     s.sheds = shard->sheds();
+    s.sheds_closed = shard->sheds_closed();
     s.batches = shard->batches();
     s.degraded = shard->degraded();
+    s.deadline_exceeded = shard->deadline_exceeded();
+    s.rerouted = shard->rerouted();
+    s.restarts = shard->restarts();
     s.swaps_applied = shard->swaps_applied();
     stats.total.requests += s.requests;
     stats.total.sheds += s.sheds;
+    stats.total.sheds_closed += s.sheds_closed;
     stats.total.batches += s.batches;
     stats.total.degraded += s.degraded;
+    stats.total.deadline_exceeded += s.deadline_exceeded;
+    stats.total.rerouted += s.rerouted;
+    stats.total.restarts += s.restarts;
     stats.total.swaps_applied += s.swaps_applied;
     stats.shards.push_back(s);
   }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,8 +61,12 @@ uint64_t CampusHash(std::string_view campus_name);
 struct ShardStats {
   uint64_t requests = 0;
   uint64_t sheds = 0;
+  uint64_t sheds_closed = 0;
   uint64_t batches = 0;
   uint64_t degraded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t rerouted = 0;
+  uint64_t restarts = 0;
   uint64_t swaps_applied = 0;
 };
 
@@ -89,6 +94,15 @@ struct RouterStats {
 /// serve.shard<k>.* so the registry rollup satisfies
 /// serve.requests == sum_k serve.shard<k>.requests whenever all traffic
 /// flows through tagged shards.
+///
+/// Failover: the ShardSupervisor trips unhealthy shards, which installs a
+/// versioned overlay diverting the tripped shard's partition to a live
+/// stand-in (the batching invariant makes any stand-in correct — it
+/// computes the same answers from the same snapshot). Rerouted requests
+/// are counted against the HOME shard's serve.shard<k>.rerouted, so the
+/// counter reads "how much of k's partition ran elsewhere". With no shard
+/// tripped there is no overlay at all and routing is bit-for-bit the
+/// pre-failover path.
 class ShardRouter : public DecisionService {
  public:
   /// `models` must outlive the router. Spawns config.num_shards service
@@ -99,8 +113,35 @@ class ShardRouter : public DecisionService {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  /// Routes to ShardOf(context) and submits there. Thread-safe.
+  /// Routes to ShardOf(context) — or, when a failover overlay is active,
+  /// to the live shard standing in for it — and submits there.
+  /// Thread-safe. A request bounced by a closed queue (the shard crashed
+  /// between the overlay read and the push) hops to the next live shard,
+  /// so a reply is lost only if EVERY shard is closed — i.e. the whole
+  /// fabric is stopping, and even then it is answered as a closed-shed,
+  /// never dropped.
   std::future<ServeReply> Submit(const DispatchContext& context) override;
+
+  // --- Failover overlay (driven by the ShardSupervisor) ---
+
+  /// Diverts shard `k`'s partition to the next live (untripped) shard via
+  /// a fresh overlay epoch. Campus-stickiness is preserved PER EPOCH: all
+  /// of k's campuses move together to one stand-in shard, so each campus's
+  /// request stream stays FIFO through a single queue between overlay
+  /// flips. Idempotent.
+  void TripShard(int k);
+
+  /// Removes shard `k` from the tripped set, restoring its partition in a
+  /// fresh overlay epoch (the all-healthy overlay is the identity map,
+  /// dropped entirely — the chaos-off fast path stays overlay-free).
+  /// Idempotent.
+  void RestoreShard(int k);
+
+  bool IsTripped(int k) const;
+  /// Overlay generation; bumps on every TripShard/RestoreShard change.
+  uint64_t overlay_epoch() const { return overlay_epoch_.load(); }
+  /// Where `home`'s traffic currently lands (identity when no overlay).
+  int RedirectOf(int home) const;
 
   /// The shard the next submission of `context` goes to. For kCampusHash
   /// this is a pure function of the campus name; for kRoundRobin it
@@ -123,9 +164,27 @@ class ShardRouter : public DecisionService {
   RouterStats Stats() const;
 
  private:
+  /// Immutable redirect table: overlay->redirect[home] is the shard that
+  /// serves home's partition this epoch. Swapped whole under overlay_mu_;
+  /// readers grab the shared_ptr and route lock-free from then on. A null
+  /// overlay_ means "identity" — the common all-healthy case pays one
+  /// atomic shared_ptr load and no table walk.
+  struct Overlay {
+    std::vector<int> redirect;
+  };
+
+  std::shared_ptr<const Overlay> CurrentOverlay() const;
+  /// Rebuilds the overlay from tripped_ (callers hold overlay_mu_).
+  void RebuildOverlayLocked();
+
   const ShardedServeConfig config_;
   std::vector<std::unique_ptr<DispatchService>> shards_;
   std::atomic<uint64_t> round_robin_{0};
+
+  mutable std::mutex overlay_mu_;
+  std::vector<bool> tripped_;            ///< Guarded by overlay_mu_.
+  std::shared_ptr<const Overlay> overlay_;  ///< Guarded by overlay_mu_.
+  std::atomic<uint64_t> overlay_epoch_{0};
 };
 
 }  // namespace dpdp::serve

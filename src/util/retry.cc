@@ -19,10 +19,20 @@ bool IsTransientFailure(StatusCode code) {
   }
 }
 
+int BackoffDelayMs(const RetryPolicy& policy, int attempt) {
+  if (policy.initial_backoff_ms <= 0 || attempt < 0) return 0;
+  double delay_ms = static_cast<double>(policy.initial_backoff_ms);
+  for (int i = 0; i < attempt; ++i) {
+    delay_ms *= policy.backoff_multiplier;
+    if (delay_ms >= static_cast<double>(policy.max_backoff_ms)) break;
+  }
+  return static_cast<int>(
+      std::min(delay_ms, static_cast<double>(policy.max_backoff_ms)));
+}
+
 Status RunWithRetry(const std::function<Status()>& fn,
                     const RetryPolicy& policy, int* attempts) {
   const int max_attempts = std::max(1, policy.max_attempts);
-  double backoff_ms = static_cast<double>(policy.initial_backoff_ms);
   Status last = Status::OK();
   int made = 0;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -35,11 +45,9 @@ Status RunWithRetry(const std::function<Status()>& fn,
       last = Status::Internal("uncaught non-standard exception");
     }
     if (last.ok() || !IsTransientFailure(last.code())) break;
-    if (attempt + 1 < max_attempts && backoff_ms > 0.0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          static_cast<int>(std::min(backoff_ms,
-                                    static_cast<double>(policy.max_backoff_ms)))));
-      backoff_ms *= policy.backoff_multiplier;
+    const int delay_ms = BackoffDelayMs(policy, attempt);
+    if (attempt + 1 < max_attempts && delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
     }
   }
   if (attempts != nullptr) *attempts = made;

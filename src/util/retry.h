@@ -25,6 +25,13 @@ struct RetryPolicy {
 /// and retrying cannot help.
 bool IsTransientFailure(StatusCode code);
 
+/// The capped exponential backoff schedule of `policy`: the delay before
+/// retry `attempt` (0-based), i.e. initial_backoff_ms * multiplier^attempt
+/// clamped to max_backoff_ms. Shared by RunWithRetry and the serving
+/// layer's per-shard circuit breaker so both speak the same backoff
+/// semantics. Non-positive inputs yield 0.
+int BackoffDelayMs(const RetryPolicy& policy, int attempt);
+
 /// Runs `fn` under `policy`. Exceptions escaping `fn` are converted to
 /// Status::Internal (and therefore treated as transient). Returns the first
 /// permanent failure, the last transient failure after the attempt budget is

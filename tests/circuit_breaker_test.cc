@@ -1,0 +1,178 @@
+// Pure-unit suite for the serving fabric's failure-handling state: the
+// shared BackoffDelayMs schedule (util/retry) and the per-shard
+// CircuitBreaker (serve/circuit_breaker). No threads, no clocks — every
+// transition is driven by synthetic monotonic timestamps, so each test is
+// a deterministic replay of one call sequence.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/circuit_breaker.h"
+#include "util/retry.h"
+
+namespace dpdp::serve {
+namespace {
+
+constexpr int64_t kMs = 1'000'000;  // ns per ms.
+
+RetryPolicy Backoff(int initial_ms, double mult, int max_ms) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = initial_ms;
+  policy.backoff_multiplier = mult;
+  policy.max_backoff_ms = max_ms;
+  return policy;
+}
+
+BreakerConfig Config(int threshold, int initial_ms, double mult, int max_ms) {
+  BreakerConfig config;
+  config.failure_threshold = threshold;
+  config.backoff = Backoff(initial_ms, mult, max_ms);
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// BackoffDelayMs: the one capped-exponential schedule both layers share
+// ---------------------------------------------------------------------------
+
+TEST(BackoffDelayMsTest, GeometricThenCapped) {
+  const RetryPolicy policy = Backoff(100, 2.0, 800);
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 100);
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 200);
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 400);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 800);
+  EXPECT_EQ(BackoffDelayMs(policy, 4), 800);   // Capped, not overflowing.
+  EXPECT_EQ(BackoffDelayMs(policy, 60), 800);  // Huge attempt: still capped.
+}
+
+TEST(BackoffDelayMsTest, DegenerateInputsYieldZero) {
+  EXPECT_EQ(BackoffDelayMs(Backoff(0, 2.0, 100), 3), 0);
+  EXPECT_EQ(BackoffDelayMs(Backoff(-5, 2.0, 100), 0), 0);
+  EXPECT_EQ(BackoffDelayMs(Backoff(100, 2.0, 800), -1), 0);
+}
+
+TEST(BackoffDelayMsTest, CapBelowInitialClampsImmediately) {
+  const RetryPolicy policy = Backoff(500, 3.0, 200);
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 200);
+  EXPECT_EQ(BackoffDelayMs(policy, 5), 200);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker: closed -> open -> half-open transitions
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker(Config(3, 100, 2.0, 800));
+  int64_t now = 0;
+  breaker.RecordFailure(now += kMs);
+  breaker.RecordFailure(now += kMs);
+  EXPECT_EQ(breaker.StateAt(now), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(Config(3, 100, 2.0, 800));
+  int64_t now = 0;
+  breaker.RecordFailure(now += kMs);
+  breaker.RecordFailure(now += kMs);
+  breaker.RecordSuccess(now += kMs);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  // Two more failures: still under threshold because the streak restarted.
+  breaker.RecordFailure(now += kMs);
+  breaker.RecordFailure(now += kMs);
+  EXPECT_EQ(breaker.StateAt(now), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, TripsAtThresholdAndHalfOpensAfterBackoff) {
+  CircuitBreaker breaker(Config(3, 100, 2.0, 800));
+  int64_t now = 10 * kMs;
+  breaker.RecordFailure(now);
+  breaker.RecordFailure(now);
+  breaker.RecordFailure(now);  // Third consecutive failure trips it.
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.current_backoff_ms(), 100);  // Period 0 of the schedule.
+  EXPECT_EQ(breaker.StateAt(now), BreakerState::kOpen);
+  EXPECT_EQ(breaker.StateAt(now + 99 * kMs), BreakerState::kOpen);
+  EXPECT_EQ(breaker.StateAt(now + 100 * kMs), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, FailuresWhileOpenAreNoOps) {
+  CircuitBreaker breaker(Config(1, 100, 2.0, 800));
+  int64_t now = 0;
+  breaker.RecordFailure(now);  // Threshold 1: trips immediately.
+  ASSERT_EQ(breaker.StateAt(now), BreakerState::kOpen);
+  // Failures during the open period neither extend it nor re-trip.
+  breaker.RecordFailure(now + 10 * kMs);
+  breaker.RecordFailure(now + 50 * kMs);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_EQ(breaker.current_backoff_ms(), 100);
+  EXPECT_EQ(breaker.StateAt(now + 100 * kMs), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensWithLongerCappedBackoff) {
+  CircuitBreaker breaker(Config(1, 100, 2.0, 350));
+  int64_t now = 0;
+  const std::vector<int> expected_backoffs = {100, 200, 350, 350, 350};
+  for (const int backoff_ms : expected_backoffs) {
+    breaker.RecordFailure(now);  // Trip (first) / failed probe (rest).
+    EXPECT_EQ(breaker.current_backoff_ms(), backoff_ms);
+    now += static_cast<int64_t>(backoff_ms) * kMs;
+    EXPECT_EQ(breaker.StateAt(now), BreakerState::kHalfOpen);
+  }
+  EXPECT_EQ(breaker.trips(), 1u);  // One closed->open trip; rest were probes.
+}
+
+TEST(CircuitBreakerTest, HalfOpenSuccessClosesAndResetsTheSchedule) {
+  CircuitBreaker breaker(Config(1, 100, 2.0, 800));
+  int64_t now = 0;
+  breaker.RecordFailure(now);                       // Open, 100 ms.
+  now += 100 * kMs;
+  breaker.RecordFailure(now);                       // Probe fails: 200 ms.
+  now += 200 * kMs;
+  ASSERT_EQ(breaker.StateAt(now), BreakerState::kHalfOpen);
+  breaker.RecordSuccess(now);                       // Probe succeeds.
+  EXPECT_EQ(breaker.StateAt(now), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  // A later trip starts the schedule over at period 0 — recovery earns a
+  // fresh backoff, it does not inherit the old escalation.
+  breaker.RecordFailure(now += kMs);
+  EXPECT_EQ(breaker.current_backoff_ms(), 100);
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(CircuitBreakerTest, IdenticalCallSequencesProduceIdenticalTraces) {
+  // Determinism contract: the breaker owns no clock and no RNG, so two
+  // instances fed the same (event, timestamp) sequence agree everywhere.
+  const BreakerConfig config = Config(2, 50, 3.0, 1000);
+  CircuitBreaker a(config), b(config);
+  const std::vector<std::pair<bool, int64_t>> events = {
+      {false, 1 * kMs}, {false, 2 * kMs},  {true, 3 * kMs},
+      {false, 60 * kMs}, {false, 61 * kMs}, {true, 500 * kMs},
+      {false, 600 * kMs},
+  };
+  for (const auto& [ok, t] : events) {
+    if (ok) {
+      a.RecordSuccess(t);
+      b.RecordSuccess(t);
+    } else {
+      a.RecordFailure(t);
+      b.RecordFailure(t);
+    }
+    EXPECT_EQ(a.StateAt(t), b.StateAt(t));
+    EXPECT_EQ(a.consecutive_failures(), b.consecutive_failures());
+    EXPECT_EQ(a.current_backoff_ms(), b.current_backoff_ms());
+    EXPECT_EQ(a.trips(), b.trips());
+  }
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  // The names feed logs and the breaker_state gauge docs.
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace dpdp::serve

@@ -45,7 +45,7 @@ TEST(RequestQueueStressTest, SingleStragglerFlushesAtMaxWaitNotMaxBatch) {
   // the upper bound only guards against waiting for max_batch peers.
   RequestQueue queue(8);
   const DispatchContext ctx;
-  ASSERT_TRUE(queue.TryPush(MakeRequest(&ctx)));
+  ASSERT_EQ(queue.TryPush(MakeRequest(&ctx)), PushResult::kAdmitted);
   const auto start = steady_clock::now();
   std::vector<DecisionRequest> batch;
   const int n = queue.PopBatch(&batch, /*max_batch=*/8,
@@ -64,10 +64,10 @@ TEST(RequestQueueStressTest, LateArrivalCompletesBatchBeforeDeadline) {
   // deliberately huge) wait window expires.
   RequestQueue queue(8);
   const DispatchContext first_ctx, second_ctx;
-  ASSERT_TRUE(queue.TryPush(MakeRequest(&first_ctx)));
+  ASSERT_EQ(queue.TryPush(MakeRequest(&first_ctx)), PushResult::kAdmitted);
   std::thread late([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
-    ASSERT_TRUE(queue.TryPush(MakeRequest(&second_ctx)));
+    ASSERT_EQ(queue.TryPush(MakeRequest(&second_ctx)), PushResult::kAdmitted);
   });
   const auto start = steady_clock::now();
   std::vector<DecisionRequest> batch;
@@ -99,7 +99,9 @@ TEST(RequestQueueStressTest, ZeroCapacityRejectsEveryPushEvenConcurrently) {
   for (int t = 0; t < kThreads; ++t) {
     pushers.emplace_back([&] {
       for (int i = 0; i < kAttemptsEach; ++i) {
-        if (queue.TryPush(MakeRequest(&ctx))) admitted.fetch_add(1);
+        const PushResult result = queue.TryPush(MakeRequest(&ctx));
+        EXPECT_EQ(result, PushResult::kFull);
+        if (result == PushResult::kAdmitted) admitted.fetch_add(1);
       }
     });
   }
@@ -133,7 +135,7 @@ TEST(RequestQueueStressTest, CloseWakesBlockedConsumerOnEmptyQueue) {
   EXPECT_LT(SecondsSince(close_time), 5.0);
   // Closed queue: further pushes fail, further pops return 0 immediately.
   const DispatchContext ctx;
-  EXPECT_FALSE(queue.TryPush(MakeRequest(&ctx)));
+  EXPECT_EQ(queue.TryPush(MakeRequest(&ctx)), PushResult::kClosed);
   std::vector<DecisionRequest> batch;
   EXPECT_EQ(queue.PopBatch(&batch, 4, 10'000'000), 0);
 }
@@ -144,8 +146,8 @@ TEST(RequestQueueStressTest, CloseFlushesPartialBatchWithoutWaitingOut) {
   // shutdown would strand admitted requests for max_wait_us.
   RequestQueue queue(8);
   const DispatchContext a, b;
-  ASSERT_TRUE(queue.TryPush(MakeRequest(&a)));
-  ASSERT_TRUE(queue.TryPush(MakeRequest(&b)));
+  ASSERT_EQ(queue.TryPush(MakeRequest(&a)), PushResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(MakeRequest(&b)), PushResult::kAdmitted);
   std::thread closer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
     queue.Close();
@@ -190,7 +192,8 @@ void RandomizedRace(uint64_t seed, int capacity) {
           std::this_thread::sleep_for(
               std::chrono::microseconds(stream.UniformInt(120)));
         }
-        if (queue.TryPush(MakeRequest(&contexts[t * kOpsEach + i]))) {
+        if (queue.TryPush(MakeRequest(&contexts[t * kOpsEach + i])) ==
+            PushResult::kAdmitted) {
           admitted.fetch_add(1);
         } else {
           rejected.fetch_add(1);
@@ -235,6 +238,82 @@ void RandomizedRace(uint64_t seed, int capacity) {
   // The race always closes mid-stream with pushers still running, so at
   // least one push must have hit the closed/full rejection path.
   EXPECT_GT(rejected.load(), 0) << "seed " << seed;
+}
+
+// ---------------------------------------------------------------------------
+// kFull vs kClosed, Requeue, Reopen (the failover building blocks)
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueueStressTest, FullAndClosedAreDistinctRejections) {
+  // The router's failover depends on telling transient overload (shed
+  // here) apart from a dead consumer (reroute elsewhere): kFull at
+  // capacity, kClosed after Close — never conflated.
+  RequestQueue queue(1);
+  const DispatchContext a, b;
+  ASSERT_EQ(queue.TryPush(MakeRequest(&a)), PushResult::kAdmitted);
+  EXPECT_EQ(queue.TryPush(MakeRequest(&b)), PushResult::kFull);
+  queue.Close();
+  // Closed wins over full: the consumer is gone, reroute — don't shed.
+  EXPECT_EQ(queue.TryPush(MakeRequest(&b)), PushResult::kClosed);
+}
+
+TEST(RequestQueueStressTest, RequeuePutsBatchBackInFrontInOrder) {
+  // The crash path pops a batch, then puts it back: the requeued requests
+  // must come out first and in their original FIFO order, ahead of
+  // anything that arrived while the batch was in flight.
+  RequestQueue queue(8);
+  std::vector<DispatchContext> ctx(4);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.TryPush(MakeRequest(&ctx[i])), PushResult::kAdmitted);
+  }
+  std::vector<DecisionRequest> batch;
+  ASSERT_EQ(queue.PopBatch(&batch, 2, 0), 2);
+  ASSERT_EQ(queue.TryPush(MakeRequest(&ctx[3])), PushResult::kAdmitted);
+  queue.Requeue(&batch);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(queue.size(), 4u);
+  std::vector<DecisionRequest> drained;
+  ASSERT_EQ(queue.PopBatch(&drained, 8, 0), 4);
+  EXPECT_EQ(drained[0].context, &ctx[0]);
+  EXPECT_EQ(drained[1].context, &ctx[1]);
+  EXPECT_EQ(drained[2].context, &ctx[2]);
+  EXPECT_EQ(drained[3].context, &ctx[3]);
+}
+
+TEST(RequestQueueStressTest, RequeueIgnoresCapacityAndClosedFlag) {
+  // Requeued work was already admitted once; neither the capacity bound
+  // nor a concurrent Close may drop it.
+  RequestQueue queue(1);
+  const DispatchContext a;
+  ASSERT_EQ(queue.TryPush(MakeRequest(&a)), PushResult::kAdmitted);
+  std::vector<DecisionRequest> batch;
+  ASSERT_EQ(queue.PopBatch(&batch, 1, 0), 1);
+  queue.Close();
+  queue.Requeue(&batch);  // Past capacity-1 bookkeeping AND the closed flag.
+  EXPECT_EQ(queue.size(), 1u);
+  std::vector<DecisionRequest> drained;
+  EXPECT_EQ(queue.PopBatch(&drained, 8, 0), 1);
+  EXPECT_EQ(drained[0].context, &a);
+}
+
+TEST(RequestQueueStressTest, ReopenRestoresAdmissionAfterDrain) {
+  // The supervised-restart sequence: Close, drain, Reopen, and the queue
+  // serves a fresh consumer as if nothing happened.
+  RequestQueue queue(4);
+  const DispatchContext a, b;
+  ASSERT_EQ(queue.TryPush(MakeRequest(&a)), PushResult::kAdmitted);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(MakeRequest(&b)), PushResult::kClosed);
+  std::vector<DecisionRequest> drained;
+  while (queue.PopBatch(&drained, 4, 0) > 0) {
+  }
+  EXPECT_TRUE(queue.closed());
+  queue.Reopen();
+  EXPECT_FALSE(queue.closed());
+  ASSERT_EQ(queue.TryPush(MakeRequest(&b)), PushResult::kAdmitted);
+  std::vector<DecisionRequest> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 4, 0), 1);
+  EXPECT_EQ(batch[0].context, &b);
 }
 
 TEST(RequestQueueStressTest, RandomizedClosePushRacesConserveRequests) {

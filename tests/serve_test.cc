@@ -133,7 +133,9 @@ DecisionRequest MakeRequest(const DispatchContext* ctx) {
 
 TEST(RequestQueueTest, FlushesImmediatelyAtMaxBatch) {
   RequestQueue queue(16);
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
+  }
 
   // max_wait is 10 s; a full batch must flush without waiting it out.
   std::vector<DecisionRequest> out;
@@ -150,8 +152,8 @@ TEST(RequestQueueTest, FlushesImmediatelyAtMaxBatch) {
 
 TEST(RequestQueueTest, FlushesPartialBatchAfterMaxWait) {
   RequestQueue queue(16);
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
 
   // Only 2 of max_batch 8 present: the pop must return them once the
   // oldest request ages past max_wait instead of blocking for more.
@@ -161,7 +163,7 @@ TEST(RequestQueueTest, FlushesPartialBatchAfterMaxWait) {
 
 TEST(RequestQueueTest, LatePushJoinsWaitingBatch) {
   RequestQueue queue(16);
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
   std::thread pusher([&queue] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     queue.TryPush(MakeRequest(nullptr));
@@ -176,12 +178,12 @@ TEST(RequestQueueTest, LatePushJoinsWaitingBatch) {
 
 TEST(RequestQueueTest, BoundedAdmissionRejectsWithoutConsuming) {
   RequestQueue queue(2);
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
 
   DecisionRequest overflow = MakeRequest(nullptr);
   std::future<ServeReply> fut = overflow.reply.get_future();
-  EXPECT_FALSE(queue.TryPush(std::move(overflow)));
+  EXPECT_EQ(queue.TryPush(std::move(overflow)), PushResult::kFull);
 
   // The rejected request still owns its promise — the shed path can answer.
   ServeReply reply;
@@ -194,17 +196,17 @@ TEST(RequestQueueTest, BoundedAdmissionRejectsWithoutConsuming) {
 
 TEST(RequestQueueTest, ZeroCapacityShedsEverything) {
   RequestQueue queue(0);
-  EXPECT_FALSE(queue.TryPush(MakeRequest(nullptr)));
+  EXPECT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kFull);
   EXPECT_EQ(queue.size(), 0u);
 }
 
 TEST(RequestQueueTest, CloseDrainsBacklogThenReturnsZero) {
   RequestQueue queue(8);
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
-  ASSERT_TRUE(queue.TryPush(MakeRequest(nullptr)));
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
+  ASSERT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kAdmitted);
   queue.Close();
-  EXPECT_FALSE(queue.TryPush(MakeRequest(nullptr)));
+  EXPECT_EQ(queue.TryPush(MakeRequest(nullptr)), PushResult::kClosed);
 
   // Close never drops admitted requests: they drain in batches, then the
   // consumer sees 0 (its exit signal).
