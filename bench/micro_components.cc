@@ -426,6 +426,59 @@ void BM_TraceSpanEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceSpanEnabled);
 
+// The same bar for the request-scoped tracing plumbing: with tracing off,
+// allocating a context is one relaxed load returning the inactive {0, 0},
+// and every downstream RecordHop on it is a single branch — a served
+// request pays a handful of nanoseconds total for carrying the TraceContext
+// through route/queue/eval/commit/reply in the default configuration.
+void BM_NewTraceContextDisabled(benchmark::State& state) {
+  dpdp::obs::SetTraceEnabled(false);
+  for (auto _ : state) {
+    dpdp::obs::TraceContext context = dpdp::obs::NewTraceContext();
+    benchmark::DoNotOptimize(context);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NewTraceContextDisabled);
+
+void BM_RecordHopInactive(benchmark::State& state) {
+  dpdp::obs::SetTraceEnabled(false);
+  const dpdp::obs::TraceContext inactive;  // trace_id 0: every hop no-ops.
+  for (auto _ : state) {
+    dpdp::obs::TraceContext next = dpdp::obs::RecordHop(
+        "bench.hop", inactive, 0, 0, dpdp::obs::FlowPhase::kStep);
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordHopInactive);
+
+// Disarmed flight recording is one relaxed load + branch, so the fabric's
+// crash/publish/breaker call sites stay unconditionally instrumented.
+void BM_RecordFlightDisabled(benchmark::State& state) {
+  dpdp::obs::SetFlightRecorderEnabled(false);
+  for (auto _ : state) {
+    dpdp::obs::RecordFlight(dpdp::obs::FlightEventKind::kCustom,
+                            "bench.flight");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordFlightDisabled);
+
+void BM_RecordFlightEnabled(benchmark::State& state) {
+  dpdp::obs::SetFlightRecorderEnabled(true);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    dpdp::obs::RecordFlight(dpdp::obs::FlightEventKind::kCustom,
+                            "bench.flight", -1, i++);
+  }
+  dpdp::obs::SetFlightRecorderEnabled(false);
+  dpdp::obs::ResetFlightRecorder();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordFlightEnabled);
+
 void BM_CounterAdd(benchmark::State& state) {
   dpdp::obs::Counter* counter =
       dpdp::obs::MetricsRegistry::Global().GetCounter("bench.counter");

@@ -35,6 +35,14 @@
 //   DPDP_SERVE_DEADLINE_US   per-request deadline       (default 20000)
 //   DPDP_BENCH_JSON          result file                (default BENCH_7.json)
 //   DPDP_METRICS_DIR         also dump registry + trace there
+//
+// Telemetry-plane knobs (all default OFF; see README "Telemetry"):
+//   DPDP_OBS_HTTP_PORT       /metrics, /slo, /timeseries, plus a
+//                            supervisor-backed /healthz (503 while any
+//                            shard scans dead)
+//   DPDP_OBS_SAMPLE_MS       time-series sampling period
+//   DPDP_SLO_* / DPDP_FLIGHT_RECORDER   SLO monitor + black box
+//   DPDP_OBS_LINGER_MS       keep the exporter up after the soak
 
 #include <unistd.h>
 
@@ -205,6 +213,31 @@ int main() {
               static_cast<unsigned long long>(serve_config.shard.chaos.seed),
               deadline_us);
 
+  // The live telemetry plane (env-driven, inert by default). The default
+  // /healthz is replaced with a supervisor-backed one: 503 while any shard
+  // scans dead, with the per-shard verdicts in the body — so the CI smoke
+  // job's scrape checks the watchdog, not just the socket.
+  dpdp::obs::Telemetry telemetry(dpdp::obs::Telemetry::FromEnv());
+  telemetry.Start();
+  if (telemetry.exporter().running()) {
+    telemetry.exporter().AddEndpoint("/healthz", [&supervisor, num_shards] {
+      dpdp::obs::HttpResponse response;
+      bool all_up = true;
+      std::string body;
+      for (int k = 0; k < num_shards; ++k) {
+        const dpdp::serve::ShardHealth health = supervisor.health(k);
+        if (health == dpdp::serve::ShardHealth::kDead) all_up = false;
+        body += "shard" + std::to_string(k) + " " +
+                dpdp::serve::ShardHealthName(health) + "\n";
+      }
+      response.status = all_up ? 200 : 503;
+      response.body = (all_up ? "ok\n" : "degraded\n") + body;
+      return response;
+    });
+    std::printf("  telemetry: http://127.0.0.1:%d/metrics\n",
+                telemetry.exporter().port());
+  }
+
   // Trainer stand-in: publishes checkpoint seq n every ~10 ms with
   // parity-selected weights. The chaos stream tears some publishes
   // (exercising CRC rejection and, after repeated probes, quarantine),
@@ -371,6 +404,21 @@ int main() {
     DPDP_CHECK(out.good());
   }
   std::printf("  wrote %s\n", json_path.c_str());
+
+  // Deterministic scrape window for external scrapers, then stop the
+  // plane (final time-series sample + timeseries.csv/json export).
+  const long linger_ms = dpdp::EnvInt("DPDP_OBS_LINGER_MS", 0);
+  if (linger_ms > 0 && telemetry.exporter().running()) {
+    std::printf("  telemetry: lingering %ld ms for scrapers\n", linger_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  telemetry.Stop();
+  if (telemetry.SloWindows() > 0) {
+    std::printf("  slo: %llu window(s), %llu breach(es)\n",
+                static_cast<unsigned long long>(telemetry.SloWindows()),
+                static_cast<unsigned long long>(telemetry.SloBreaches()));
+  }
+
   const dpdp::Status metrics_written = dpdp::obs::WriteMetricsFiles();
   DPDP_CHECK(metrics_written.ok());
 

@@ -39,11 +39,21 @@
 //   DPDP_SERVE_MAX_BATCH / DPDP_SERVE_MAX_WAIT_US     service policy
 //   DPDP_BENCH_JSON        result file                 (default BENCH_6.json)
 //   DPDP_METRICS_DIR       also dump the registry snapshot there
+//
+// Telemetry-plane knobs (all default OFF; see README "Telemetry"):
+//   DPDP_OBS_HTTP_PORT     /metrics + /healthz + /slo + /timeseries port
+//   DPDP_OBS_SAMPLE_MS     time-series sampling period
+//   DPDP_SLO_*             SLO objectives (window, p99, shed, deadline)
+//   DPDP_OBS_LINGER_MS     keep the exporter up this long after the sweep
+//                          so an external scraper (the CI telemetry-smoke
+//                          job) can curl it deterministically
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/dpdp.h"
@@ -170,6 +180,16 @@ int main() {
               num_campuses, num_clients, orders, vehicles, hidden,
               commit_us);
 
+  // The live telemetry plane, entirely env-driven: with every knob at its
+  // default this is an inert object; with DPDP_OBS_HTTP_PORT set the
+  // sweep below can be scraped mid-run at /metrics.
+  dpdp::obs::Telemetry telemetry(dpdp::obs::Telemetry::FromEnv());
+  telemetry.Start();
+  if (telemetry.exporter().running()) {
+    std::printf("  telemetry: http://127.0.0.1:%d/metrics\n",
+                telemetry.exporter().port());
+  }
+
   // The ground truth: one local agent per campus, no service involved.
   // Client i of every sharded run below must match campus i % C bitwise.
   const dpdp::serve::LoadReport local =
@@ -257,6 +277,22 @@ int main() {
       dpdp::EnvStr("DPDP_BENCH_JSON", "BENCH_6.json");
   WriteBenchJson(json_path, rows);
   std::printf("  wrote %s\n", json_path.c_str());
+
+  // Hold the exporter open so an external scraper has a deterministic
+  // window over the fully-populated registry, then stop the plane (the
+  // sampler's final export writes timeseries.csv/json under
+  // DPDP_METRICS_DIR).
+  const long linger_ms = dpdp::EnvInt("DPDP_OBS_LINGER_MS", 0);
+  if (linger_ms > 0 && telemetry.exporter().running()) {
+    std::printf("  telemetry: lingering %ld ms for scrapers\n", linger_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+  telemetry.Stop();
+  if (telemetry.SloWindows() > 0) {
+    std::printf("  slo: %llu window(s), %llu breach(es)\n",
+                static_cast<unsigned long long>(telemetry.SloWindows()),
+                static_cast<unsigned long long>(telemetry.SloBreaches()));
+  }
 
   // Dump the registry (per-shard counters included) when asked: the CI
   // smoke job cross-checks the rollup from this artifact.

@@ -45,7 +45,12 @@
 #include "model/vehicle.h"
 #include "net/road_network.h"
 #include "nn/matrix.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "rl/actor_critic.h"
 #include "rl/checkpoint.h"

@@ -1,0 +1,112 @@
+#ifndef DPDP_OBS_FLIGHT_RECORDER_H_
+#define DPDP_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpdp::obs {
+
+/// What happened, in one word. The flight recorder keeps the LAST few
+/// hundred of these per thread — the black box a post-mortem replays after
+/// the fabric declares a shard dead or an SLO burns through its budget.
+enum class FlightEventKind {
+  kPublish = 0,     ///< Model snapshot published (arg0 = seq).
+  kQuarantine = 1,  ///< Checkpoint quarantined / rejected.
+  kCrash = 2,       ///< Service loop crashed (arg0 = shard tick).
+  kRestart = 3,     ///< Supervised restart (arg0 = orphans rerouted).
+  kReroute = 4,     ///< Partition failed over (arg0 = stand-in shard).
+  kRestore = 5,     ///< Partition restored to its home shard.
+  kBreaker = 6,     ///< Breaker state change (arg0 = new BreakerState).
+  kSloBreach = 7,   ///< SLO objective breached (arg0 = objective index).
+  kShed = 8,        ///< Load shed burst marker.
+  kCustom = 9,      ///< Anything else; `name` carries the label.
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+/// One recorded event. `name` must be a string literal (stored by
+/// pointer, like trace span names); shard is -1 when not shard-scoped.
+struct FlightEvent {
+  int64_t t_ns = 0;
+  FlightEventKind kind = FlightEventKind::kCustom;
+  const char* name = "";
+  int shard = -1;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+namespace internal {
+extern std::atomic<bool> g_flight_enabled;
+void RecordFlightEvent(const FlightEvent& event);
+}  // namespace internal
+
+/// True when the flight recorder is armed (DPDP_FLIGHT_RECORDER=1 or
+/// SetFlightRecorderEnabled). Disabled recording is one relaxed load.
+inline bool FlightRecorderEnabled() {
+  return internal::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override of the DPDP_FLIGHT_RECORDER switch.
+void SetFlightRecorderEnabled(bool enabled);
+
+/// Records one structured event into the calling thread's lock-free ring
+/// (oldest events overwritten once the ring wraps). Wait-free for the
+/// writer: each ring slot is a seqlock of relaxed atomics, so concurrent
+/// dumps never block recording and TSan sees no races. No-op (one branch)
+/// when the recorder is disabled.
+inline void RecordFlight(FlightEventKind kind, const char* name,
+                         int shard = -1, uint64_t arg0 = 0,
+                         uint64_t arg1 = 0) {
+  if (!FlightRecorderEnabled()) return;
+  FlightEvent event;
+  event.kind = kind;
+  event.name = name;
+  event.shard = shard;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  internal::RecordFlightEvent(event);
+}
+
+/// Events per per-thread ring. Small on purpose: the recorder answers
+/// "what happened in the last seconds before the incident", not "what
+/// happened today" (that is the trace / timeseries job).
+inline constexpr int kFlightRingCapacity = 256;
+
+/// Point-in-time copy of every thread's ring, oldest first. Slots being
+/// concurrently overwritten are skipped (seqlock retry, then give up) —
+/// a dump is a best-effort forensic artifact, never a synchronization
+/// point. Events are NOT consumed: successive dumps overlap.
+std::vector<FlightEvent> SnapshotFlightEvents();
+
+/// Serializes a snapshot to a JSON object: {"reason": ..., "dumped_at_ns":
+/// ..., "events": [{t_ns, kind, name, shard, arg0, arg1}, ...]}.
+std::string FlightEventsToJson(const std::vector<FlightEvent>& events,
+                               const std::string& reason, int64_t now_ns);
+
+/// Dumps the current rings to `path` (empty: DPDP_FLIGHT_RECORDER_FILE,
+/// then <DPDP_METRICS_DIR>/flight_recorder.json, then
+/// ./flight_recorder.json) through the shared obs flush mutex with
+/// .tmp-then-rename staging — safe against a concurrent trace/metrics
+/// flush even on the crash path. `reason` lands in the JSON header.
+Status DumpFlightRecorder(const std::string& reason,
+                          const std::string& path = "");
+
+/// Auto-dump hook for the fabric: when the recorder is armed, dumps with
+/// `reason` and counts obs.flight_dumps; otherwise does nothing. Called by
+/// the ShardSupervisor when it declares a shard dead and by the SloMonitor
+/// when an objective first breaches.
+void FlightRecorderAutoDump(const char* reason);
+
+/// Lifetime auto-dumps actually written (tests / CI assertions).
+uint64_t FlightRecorderDumps();
+
+/// Clears every live ring and the retired list (tests).
+void ResetFlightRecorder();
+
+}  // namespace dpdp::obs
+
+#endif  // DPDP_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,109 @@
+#ifndef DPDP_OBS_HTTP_EXPORTER_H_
+#define DPDP_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace dpdp::obs {
+
+/// Rewrites `name` into a legal Prometheus metric name: every character
+/// outside [a-zA-Z0-9_:] becomes '_' (so "serve.queue_wait_s" ->
+/// "serve_queue_wait_s"), and a leading digit gets a '_' prefix.
+std::string SanitizeMetricName(const std::string& name);
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): one "# TYPE" line per family, counters/gauges as
+/// single samples, histograms as cumulative `_bucket{le="..."}` series
+/// plus `+Inf`, `_sum`, and `_count`. Per-shard serving metrics
+/// ("serve.shard<k>.requests") collapse into their aggregate family with a
+/// shard label: serve_requests{shard="3"} — so one PromQL selector sums
+/// the shards and the unlabeled aggregate series stays comparable next to
+/// them. Families are emitted in sorted-name order; series in a family
+/// sorted by label.
+std::string PrometheusFromSnapshot(
+    const std::vector<MetricSnapshot>& snapshot);
+
+/// A response an endpoint handler produces.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal single-threaded HTTP/1.1 exporter for scrapes. One background
+/// thread accepts loopback connections and serves one GET per connection
+/// (Connection: close), which is all Prometheus, curl, and the CI smoke
+/// job need — this is a diagnostics port, not a web server.
+///
+/// Built-in endpoints: /metrics (Prometheus exposition of the global
+/// registry) and /healthz ("ok"). AddEndpoint registers or replaces a
+/// path with a custom handler — the serving demos plug in a
+/// supervisor-backed /healthz and the Telemetry facade adds /slo and
+/// /timeseries, keeping obs free of any dependency on the serve layer.
+///
+/// Unknown paths get 404, non-GET methods 405, malformed request lines
+/// 400. Requests are read robustly across partial reads (headers split
+/// over many TCP segments) with a per-connection deadline so a stuck
+/// client cannot wedge the exporter.
+class HttpExporter {
+ public:
+  /// `port` 0 binds an ephemeral port (read it back via port() — tests);
+  /// < 0 reads DPDP_OBS_HTTP_PORT (default -1 = exporter disabled,
+  /// Start() is a no-op returning OK).
+  explicit HttpExporter(int port = -1);
+  ~HttpExporter();  ///< Stops the thread and closes the socket.
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds 127.0.0.1:<port> and launches the accept thread. No-op OK when
+  /// disabled (port < 0) or already running.
+  Status Start();
+
+  /// Stops the accept thread and closes the listener. Idempotent.
+  void Stop();
+
+  /// True between a successful Start and Stop.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves ephemeral port 0), or -1 when not running.
+  int port() const { return bound_port_.load(std::memory_order_acquire); }
+
+  /// Registers (or replaces) the handler for `path` (exact match, query
+  /// strings stripped before lookup). Safe while running.
+  void AddEndpoint(const std::string& path, std::function<HttpResponse()> fn);
+
+  /// Dispatches one already-parsed GET path through the endpoint table —
+  /// the same code the socket path runs (tests hit this directly).
+  HttpResponse HandlePath(const std::string& path) const;
+
+  /// Parses an HTTP request head ("GET /metrics HTTP/1.1\r\n...") into
+  /// `path`. Returns 0 on success, else the error status code (400 bad
+  /// request line, 405 non-GET). Exposed for tests.
+  static int ParseRequestPath(const std::string& head, std::string* path);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  int configured_port_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> bound_port_{-1};
+  int listen_fd_ = -1;
+  std::thread thread_;
+  mutable std::mutex mu_;  ///< Guards endpoints_.
+  std::map<std::string, std::function<HttpResponse()>> endpoints_;
+};
+
+}  // namespace dpdp::obs
+
+#endif  // DPDP_OBS_HTTP_EXPORTER_H_

@@ -27,6 +27,39 @@ int ThreadShard() {
   return shard;
 }
 
+std::mutex& ExportMutex() {
+  static std::mutex* mu = new std::mutex;  // Leaked: atexit-flush safe.
+  return *mu;
+}
+
+Status WriteFileStaged(const std::string& path, const std::string& contents) {
+  std::lock_guard<std::mutex> lock(ExportMutex());
+  const std::filesystem::path file(path);
+  if (file.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(file.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create dir for " + path + ": " +
+                              ec.message());
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return Status::Internal("cannot open " + tmp + " for writing");
+    os << contents;
+    if (!os) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace internal
 
 Histogram::Histogram(std::string name, std::vector<double> bounds)
@@ -273,11 +306,6 @@ Status WriteMetricsFiles(const std::string& dir) {
   std::string target = dir;
   if (target.empty()) target = EnvStr("DPDP_METRICS_DIR", "");
   if (target.empty()) return Status::OK();
-  std::error_code ec;
-  std::filesystem::create_directories(target, ec);
-  if (ec) {
-    return Status::Internal("cannot create metrics dir: " + ec.message());
-  }
   const std::vector<MetricSnapshot> snapshot =
       MetricsRegistry::Global().Snapshot();
   const struct {
@@ -288,12 +316,9 @@ Status WriteMetricsFiles(const std::string& dir) {
       {"metrics_snapshot.json", SnapshotToJson(snapshot)},
   };
   for (const auto& out : outputs) {
-    std::ofstream os(target + "/" + out.file,
-                     std::ios::binary | std::ios::trunc);
-    os << out.contents;
-    if (!os) {
-      return Status::Internal(std::string("cannot write ") + out.file);
-    }
+    const Status written =
+        internal::WriteFileStaged(target + "/" + out.file, out.contents);
+    if (!written.ok()) return written;
   }
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,18 @@ void AtomicAddDouble(std::atomic<double>* target, double delta);
 /// thread's lifetime; different threads may share a shard (correctness
 /// never depends on exclusivity, only contention does).
 int ThreadShard();
+
+/// The single flush mutex shared by every obs file export (trace flush,
+/// metrics snapshot, flight-recorder dump, timeseries write). A crash-path
+/// dump racing the atexit trace/metrics flush serializes here instead of
+/// interleaving writes.
+std::mutex& ExportMutex();
+
+/// Writes `contents` to `path` via the checkpoint writer's convention:
+/// create the parent directory, write everything to `<path>.tmp`, then
+/// rename over `path` — a reader (or a crash) never observes a torn file.
+/// Takes ExportMutex() internally; callers must NOT hold it.
+Status WriteFileStaged(const std::string& path, const std::string& contents);
 
 }  // namespace internal
 

@@ -1,0 +1,114 @@
+#ifndef DPDP_OBS_TIMESERIES_H_
+#define DPDP_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpdp::obs {
+
+/// One sampled row: a timestamp plus one value per column, parallel to
+/// TimeSeriesSampler::ColumnNames(). Rows sampled before a column first
+/// appeared are padded with 0 at export.
+struct TimeSeriesRow {
+  int64_t t_ns = 0;
+  std::vector<double> values;
+};
+
+/// Background sampler turning the cumulative MetricsRegistry into a
+/// bounded time series: every DPDP_OBS_SAMPLE_MS it snapshots the global
+/// registry and appends one DELTA row to a fixed-size ring (oldest rows
+/// evicted), so memory is constant no matter how long the process runs.
+///
+/// Column semantics per metric kind:
+///   counter    -> one column  `<name>`        = increase since last sample
+///   gauge      -> one column  `<name>`        = instantaneous value
+///   histogram  -> two columns `<name>.count`  = new samples since last row
+///                             `<name>.sum`    = their summed value
+///
+/// Deltas (not running totals) are what plots want: a column IS the rate
+/// numerator for its sampling window. Columns appear when their metric is
+/// first seen and keep their position afterwards.
+///
+/// Thread-safety: Start/Stop manage one background thread; SampleOnce is
+/// the same code path callable deterministically from tests (and is safe
+/// concurrently with the thread — rows append under one mutex).
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    /// Sampling period. <= 0 disables the background thread (SampleOnce
+    /// still works). Initialized from DPDP_OBS_SAMPLE_MS by FromEnv.
+    int sample_interval_ms = 250;
+    /// Ring capacity in rows. 512 rows at 250 ms ≈ the last 2 minutes.
+    int capacity = 512;
+  };
+
+  /// Options from the environment: DPDP_OBS_SAMPLE_MS (default 0 =
+  /// sampling off — telemetry knobs all default off) and
+  /// DPDP_OBS_SAMPLE_ROWS (default 512).
+  static Options FromEnv();
+
+  TimeSeriesSampler();  ///< Default options.
+  explicit TimeSeriesSampler(Options options);
+  ~TimeSeriesSampler();  ///< Stops the background thread if running.
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Launches the sampling thread (no-op when already running or when
+  /// sample_interval_ms <= 0). Takes one sample immediately so short runs
+  /// still export at least one row.
+  void Start();
+
+  /// Stops and joins the thread, taking one final sample first so the tail
+  /// of the run is never lost to interval truncation.
+  void Stop();
+
+  /// Takes one sample right now (test hook; also the thread's body).
+  void SampleOnce();
+
+  /// Column names in stable first-seen order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// Rows oldest-first, each padded to ColumnNames().size().
+  std::vector<TimeSeriesRow> Rows() const;
+
+  size_t RowCount() const;
+
+  /// CSV: header `t_ns,<col>,...`; one line per row, deltas as %.9g.
+  std::string ToCsv() const;
+
+  /// JSON: {"columns": [...], "rows": [{"t_ns": N, "values": [...]}, ...]}.
+  std::string ToJson() const;
+
+  /// Writes timeseries.csv + timeseries.json under `dir` (empty: falls
+  /// back to DPDP_METRICS_DIR; unset too -> no-op OK) through the shared
+  /// obs flush mutex with .tmp-then-rename staging.
+  Status WriteFiles(const std::string& dir = "") const;
+
+ private:
+  void ThreadBody();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;   ///< Thread launched and not yet stopped.
+  bool stopping_ = false;  ///< Tells the thread to exit its wait.
+  std::thread thread_;
+  std::vector<std::string> columns_;
+  std::unordered_map<std::string, size_t> column_index_;
+  /// Previous absolute values per column, for delta computation.
+  std::unordered_map<std::string, double> prev_;
+  std::deque<TimeSeriesRow> rows_;
+};
+
+}  // namespace dpdp::obs
+
+#endif  // DPDP_OBS_TIMESERIES_H_

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/env.h"
 
 namespace dpdp::obs {
@@ -17,7 +17,12 @@ struct TraceEvent {
   const char* name;
   int64_t start_ns;
   int64_t end_ns;
-  int tid;
+  int tid = 0;  ///< Stamped by AppendEvent from the owning buffer.
+  /// Request-scoped linkage; all zero for plain spans.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  FlowPhase flow = FlowPhase::kNone;
 };
 
 /// Per-thread span buffer. The owning thread appends under the buffer's
@@ -66,6 +71,13 @@ ThreadBuffer& LocalBuffer() {
   return buffer;
 }
 
+void AppendEvent(const TraceEvent& event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(event);
+  buffer.events.back().tid = buffer.tid;
+}
+
 /// Collects (and consumes) every buffered event, sorted by start time.
 std::vector<TraceEvent> DrainAll() {
   TraceState& state = State();
@@ -105,6 +117,10 @@ std::string JsonEscape(const char* s) {
   return out;
 }
 
+/// Monotone span-id source shared by traces and hops. Starts at 1 so id 0
+/// stays the "no trace" sentinel.
+std::atomic<uint64_t> g_next_id{1};
+
 }  // namespace
 
 namespace internal {
@@ -112,15 +128,42 @@ namespace internal {
 std::atomic<bool> g_trace_enabled{InitTraceEnabled()};
 
 void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns) {
-  ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
-  buffer.events.push_back({name, start_ns, end_ns, buffer.tid});
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.end_ns = end_ns;
+  AppendEvent(event);
 }
 
 }  // namespace internal
 
 void SetTraceEnabled(bool enabled) {
   internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceContext NewTraceContext() {
+  if (!TraceEnabled()) return {};
+  TraceContext context;
+  context.trace_id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  context.span_id = 0;  // Root: the first hop records parent 0.
+  return context;
+}
+
+TraceContext RecordHop(const char* name, const TraceContext& trace,
+                       int64_t start_ns, int64_t end_ns, FlowPhase phase) {
+  if (!trace.active()) return trace;
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.end_ns = end_ns;
+  event.trace_id = trace.trace_id;
+  event.span_id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  event.parent_id = trace.span_id;
+  event.flow = phase;
+  AppendEvent(event);
+  TraceContext next = trace;
+  next.span_id = event.span_id;
+  return next;
 }
 
 size_t BufferedSpanCount() {
@@ -143,36 +186,56 @@ Status WriteTraceFile(const std::string& path) {
     const std::string dir = EnvStr("DPDP_METRICS_DIR", "");
     target = dir.empty() ? "dpdp_trace.json" : dir + "/trace.json";
   }
-  const std::filesystem::path file(target);
-  if (file.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(file.parent_path(), ec);
-    if (ec) {
-      return Status::Internal("cannot create trace dir: " + ec.message());
-    }
-  }
   const std::vector<TraceEvent> events = DrainAll();
-  std::ofstream os(target, std::ios::binary | std::ios::trunc);
-  if (!os) return Status::Internal("cannot open trace file " + target);
+  std::ostringstream os;
   // Chrome trace-event format: complete ("ph":"X") events, microsecond
   // timestamps relative to the earliest span so traces start near t=0.
+  // Request hops additionally carry their trace/span/parent ids as args
+  // and an adjacent flow event (s/t/f chained on the trace id), so one
+  // request's hops render as a connected lane across service threads.
   const int64_t origin_ns = events.empty() ? 0 : events.front().start_ns;
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    if (i) os << ",";
-    char buf[96];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    const double ts_us = static_cast<double>(e.start_ns - origin_ns) / 1e3;
+    const double dur_us = static_cast<double>(e.end_ns - e.start_ns) / 1e3;
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
                   "\"pid\": 1, \"tid\": %d",
-                  static_cast<double>(e.start_ns - origin_ns) / 1e3,
-                  static_cast<double>(e.end_ns - e.start_ns) / 1e3, e.tid);
+                  ts_us, dur_us, e.tid);
     os << "\n{\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \"dpdp\", "
-       << buf << "}";
+       << buf;
+    if (e.trace_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"args\": {\"trace\": %llu, \"span\": %llu, "
+                    "\"parent\": %llu}",
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<unsigned long long>(e.span_id),
+                    static_cast<unsigned long long>(e.parent_id));
+      os << buf;
+    }
+    os << "}";
+    if (e.flow != FlowPhase::kNone) {
+      // The flow event binds to the slice enclosing its timestamp on this
+      // thread, i.e. the hop span just written. One chain per request:
+      // name/cat/id identical across the chain, phases s -> t... -> f.
+      const char* ph = e.flow == FlowPhase::kStart
+                           ? "s"
+                           : (e.flow == FlowPhase::kStep ? "t" : "f");
+      std::snprintf(buf, sizeof(buf),
+                    "\n{\"name\": \"serve.request\", \"cat\": \"flow\", "
+                    "\"ph\": \"%s\", \"id\": %llu, \"ts\": %.3f, "
+                    "\"pid\": 1, \"tid\": %d%s}",
+                    ph, static_cast<unsigned long long>(e.trace_id), ts_us,
+                    e.tid, e.flow == FlowPhase::kEnd ? ", \"bp\": \"e\"" : "");
+      os << "," << buf;
+    }
   }
   os << "\n]}\n";
-  if (!os) return Status::Internal("short write to trace file " + target);
-  return Status::OK();
+  return internal::WriteFileStaged(target, os.str());
 }
 
 }  // namespace dpdp::obs

@@ -28,6 +28,45 @@ inline bool TraceEnabled() {
 /// Programmatic override of the DPDP_TRACE switch (tests, demos).
 void SetTraceEnabled(bool enabled);
 
+/// Request-scoped trace identity, carried by a decision request across
+/// every hop of the serving fabric (route, queue, reroute, requeue after a
+/// crash, eval, commit, reply). Two plain u64s so embedding it in a
+/// request struct costs nothing; trace_id == 0 means "tracing was off when
+/// the request was born" and every downstream recording call is a no-op
+/// branch. span_id is the id of the most recently recorded hop — the
+/// parent the next hop links to.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// Allocates a fresh root context (process-unique nonzero trace id, no
+/// parent span) when tracing is enabled. When disabled, returns the
+/// inactive {0, 0} context after one relaxed load — the whole per-request
+/// cost of the tracing plumbing in the default configuration.
+TraceContext NewTraceContext();
+
+/// Where a hop sits in its request's flow lane. The Chrome trace flow
+/// chain is s -> t -> ... -> t -> f under one flow id (the trace id), so a
+/// request's hops render as one connected arrow sequence across service
+/// threads in Perfetto / chrome://tracing.
+enum class FlowPhase {
+  kNone = 0,   ///< Plain child span, no flow arrow.
+  kStart = 1,  ///< First hop of the request (the route/submit hop).
+  kStep = 2,   ///< Intermediate hop (queue, eval, commit, requeue, ...).
+  kEnd = 3,    ///< Terminal hop (reply released, shed, or triaged).
+};
+
+/// Records one completed request hop [start_ns, end_ns) named `name`
+/// (string literal) into the calling thread's buffer, parent-linked under
+/// `trace` and flow-tagged with `phase`. Returns the context the NEXT hop
+/// should use (same trace id, this hop's span id as parent). Inactive
+/// contexts pass straight through: one branch, nothing recorded.
+TraceContext RecordHop(const char* name, const TraceContext& trace,
+                       int64_t start_ns, int64_t end_ns, FlowPhase phase);
+
 /// RAII span: records [construction, destruction) of the enclosing scope
 /// into the calling thread's buffer under `name`. `name` must outlive the
 /// span (string literals). When tracing is disabled the whole object is
@@ -59,10 +98,14 @@ class TraceSpan {
 size_t BufferedSpanCount();
 
 /// Drains every thread's span buffer into a Chrome trace-event JSON file
-/// ("traceEvents" array of "ph":"X" complete events, timestamps in
-/// microseconds) loadable in Perfetto / chrome://tracing. Empty `path`
-/// falls back to DPDP_TRACE_FILE, then <DPDP_METRICS_DIR>/trace.json,
-/// then ./dpdp_trace.json. Buffered spans are consumed by the write.
+/// ("traceEvents" array of "ph":"X" complete events plus "s"/"t"/"f" flow
+/// events linking request hops, timestamps in microseconds) loadable in
+/// Perfetto / chrome://tracing. Empty `path` falls back to
+/// DPDP_TRACE_FILE, then <DPDP_METRICS_DIR>/trace.json, then
+/// ./dpdp_trace.json. Buffered spans are consumed by the write. The file
+/// is staged to `<path>.tmp` and renamed under the shared obs flush mutex,
+/// so a concurrent flight-recorder dump or metrics flush can never
+/// interleave into a torn JSON file.
 Status WriteTraceFile(const std::string& path = "");
 
 /// Discards all buffered spans without writing (tests).

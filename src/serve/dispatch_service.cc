@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rl/q_network.h"
@@ -49,11 +50,57 @@ struct ServeMetrics {
       "serve.eval_latency_s", obs::LatencyBucketsSeconds());
   obs::Histogram* commit_latency = obs::MetricsRegistry::Global().GetHistogram(
       "serve.commit_latency_s", obs::LatencyBucketsSeconds());
+  /// End-to-end service latency (enqueue -> reply release), recorded for
+  /// every answered request on every path (served, shed, deadline) — the
+  /// histogram the SLO monitor's p99 objective reads by default.
+  obs::Histogram* request_latency = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.request_latency_s", obs::LatencyBucketsSeconds());
+  /// Queue depth sampled at each batch pop (aggregate; per-shard gauges
+  /// live on the service). Gauge, not histogram: the live value is what a
+  /// dashboard wants, and the timeseries sampler turns it into a curve.
+  obs::Gauge* queue_depth =
+      obs::MetricsRegistry::Global().GetGauge("serve.queue_depth");
+  /// Per-hop latency histograms, recorded only for traced requests (the
+  /// hop spans and these rows come from the same timestamps).
+  obs::Histogram* hop_route = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.hop.route_s", obs::LatencyBucketsSeconds());
+  obs::Histogram* hop_queue = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.hop.queue_s", obs::LatencyBucketsSeconds());
+  obs::Histogram* hop_eval = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.hop.eval_s", obs::LatencyBucketsSeconds());
+  obs::Histogram* hop_commit = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.hop.commit_s", obs::LatencyBucketsSeconds());
+  obs::Histogram* hop_reply = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.hop.reply_s", obs::LatencyBucketsSeconds());
 };
 
 ServeMetrics& Metrics() {
   static ServeMetrics* metrics = new ServeMetrics;
   return *metrics;
+}
+
+/// Nanos-since-steady-epoch of a steady_clock time_point — the same clock
+/// MonotonicNanos reads, so queue-hop spans can start at enqueue time.
+int64_t ToNanos(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+/// Seconds between two monotonic-nanos stamps (histogram convenience).
+double SecondsBetween(int64_t start_ns, int64_t end_ns) {
+  return static_cast<double>(end_ns - start_ns) / 1e9;
+}
+
+/// Records the submit-side route hop (the flow-start of the request's
+/// trace lane) plus its serve.hop.route_s row. No-op for untraced
+/// requests: one branch.
+void RecordRouteHop(DecisionRequest* request, int64_t route_start) {
+  if (!request->trace.active()) return;
+  const int64_t now = MonotonicNanos();
+  request->trace = obs::RecordHop("serve.hop.route", request->trace,
+                                  route_start, now, obs::FlowPhase::kStart);
+  Metrics().hop_route->Record(SecondsBetween(route_start, now));
 }
 
 }  // namespace
@@ -94,6 +141,7 @@ DispatchService::DispatchService(const ServeConfig& config,
         registry.GetCounter(prefix + ".deadline_exceeded");
     shard_rerouted_ = registry.GetCounter(prefix + ".rerouted");
     shard_restarts_ = registry.GetCounter(prefix + ".restarts");
+    shard_queue_depth_ = registry.GetGauge(prefix + ".queue_depth");
     shard_span_name_ = prefix;
   }
   heartbeat_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
@@ -106,6 +154,7 @@ DecisionRequest DispatchService::MakeRequest(
     const DispatchContext& context) const {
   DecisionRequest request;
   request.context = &context;
+  request.trace = obs::NewTraceContext();
   request.enqueue_time = std::chrono::steady_clock::now();
   if (config_.deadline_us > 0) {
     request.deadline =
@@ -117,9 +166,11 @@ DecisionRequest DispatchService::MakeRequest(
 
 std::future<ServeReply> DispatchService::Submit(
     const DispatchContext& context) {
+  const int64_t route_start = obs::TraceEnabled() ? MonotonicNanos() : 0;
   DecisionRequest request = MakeRequest(context);
   std::future<ServeReply> fut = request.reply.get_future();
   CountRequest();
+  RecordRouteHop(&request, route_start);
   const PushResult result = queue_.TryPush(std::move(request));
   if (result != PushResult::kAdmitted) {
     // Shed: answer right here on the caller's thread with the emergency
@@ -133,11 +184,13 @@ std::future<ServeReply> DispatchService::Submit(
 std::future<ServeReply> DispatchService::SubmitWithDeadline(
     const DispatchContext& context,
     std::chrono::steady_clock::time_point deadline) {
+  const int64_t route_start = obs::TraceEnabled() ? MonotonicNanos() : 0;
   DecisionRequest request = MakeRequest(context);
   request.deadline = deadline;
   request.has_deadline = true;
   std::future<ServeReply> fut = request.reply.get_future();
   CountRequest();
+  RecordRouteHop(&request, route_start);
   if (std::chrono::steady_clock::now() >= deadline) {
     // Already expired at push: never worth a queue slot.
     AnswerDeadline(&request);
@@ -184,6 +237,15 @@ void DispatchService::AnswerShed(DecisionRequest* request,
     Metrics().shed_closed->Add();
     if (shard_sheds_closed_ != nullptr) shard_sheds_closed_->Add();
   }
+  const int64_t now = MonotonicNanos();
+  Metrics().request_latency->Record(
+      SecondsBetween(ToNanos(request->enqueue_time), now));
+  if (request->trace.active()) {
+    // Terminal hop: the shed decision ends the request's flow lane.
+    request->trace = obs::RecordHop("serve.hop.shed", request->trace, now,
+                                    now, obs::FlowPhase::kEnd);
+  }
+  reply.trace_id = request->trace.trace_id;
   request->reply.set_value(reply);
 }
 
@@ -196,6 +258,15 @@ void DispatchService::AnswerDeadline(DecisionRequest* request) {
   deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
   Metrics().deadline_exceeded->Add();
   if (shard_deadline_exceeded_ != nullptr) shard_deadline_exceeded_->Add();
+  const int64_t now = MonotonicNanos();
+  Metrics().request_latency->Record(
+      SecondsBetween(ToNanos(request->enqueue_time), now));
+  if (request->trace.active()) {
+    // Terminal hop: deadline triage answered with the fallback.
+    request->trace = obs::RecordHop("serve.hop.triage", request->trace, now,
+                                    now, obs::FlowPhase::kEnd);
+  }
+  reply.trace_id = request->trace.trace_id;
   request->reply.set_value(reply);
 }
 
@@ -277,6 +348,11 @@ void DispatchService::Loop() {
       return;  // Closed and drained.
     }
     heartbeat_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+    // Backlog still queued after this pop, sampled once per batch: the
+    // signal a dashboard reads for queue growth under overload.
+    const double depth_now = static_cast<double>(queue_.size());
+    metrics.queue_depth->Set(depth_now);
+    if (shard_queue_depth_ != nullptr) shard_queue_depth_->Set(depth_now);
     const uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed);
     if (chaos_) {
       switch (chaos_->ActionAt(tag_.index, tick)) {
@@ -287,6 +363,15 @@ void DispatchService::Loop() {
           // accumulating while the shard is down, exactly the backlog a
           // real restart has to cope with.
           metrics.chaos_crashes->Add();
+          obs::RecordFlight(obs::FlightEventKind::kCrash, "serve.crash",
+                            tag_.index, tick);
+          for (DecisionRequest& request : requests) {
+            if (!request.trace.active()) continue;
+            const int64_t crash_ns = MonotonicNanos();
+            request.trace =
+                obs::RecordHop("serve.hop.requeue", request.trace, crash_ns,
+                               crash_ns, obs::FlowPhase::kStep);
+          }
           queue_.Requeue(&requests);
           crashed_.store(true, std::memory_order_release);
           return;
@@ -344,19 +429,38 @@ void DispatchService::Loop() {
     states.resize(n);
     indices.resize(n);
     batch.Clear();
+    const int64_t eval_start_ns = ToNanos(start);
     for (int i = 0; i < n; ++i) {
       metrics.queue_wait->Record(
           std::chrono::duration<double>(start - live[i].enqueue_time)
               .count());
+      if (live[i].trace.active()) {
+        // The queue hop spans enqueue -> pop on the service thread, so the
+        // flow arrow crosses from the submitter's lane into this shard's.
+        const int64_t enqueued_ns = ToNanos(live[i].enqueue_time);
+        live[i].trace =
+            obs::RecordHop("serve.hop.queue", live[i].trace, enqueued_ns,
+                           eval_start_ns, obs::FlowPhase::kStep);
+        metrics.hop_queue->Record(
+            SecondsBetween(enqueued_ns, eval_start_ns));
+      }
       states[i] = BuildFleetState(*live[i].context, agent_config);
       indices[i] = InferenceIndices(states[i], agent_config);
       AppendSubFleetInputs(states[i], indices[i], agent_config.use_graph,
                            agent_config.num_neighbors, &batch);
     }
     const nn::Matrix& q = net->EvaluateBatch(batch);
+    const int64_t eval_end_ns = MonotonicNanos();
     metrics.eval_latency->Record(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
+    for (int i = 0; i < n; ++i) {
+      if (!live[i].trace.active()) continue;
+      live[i].trace =
+          obs::RecordHop("serve.hop.eval", live[i].trace, eval_start_ns,
+                         eval_end_ns, obs::FlowPhase::kStep);
+      metrics.hop_eval->Record(SecondsBetween(eval_start_ns, eval_end_ns));
+    }
 
     // Downstream commit: the batch's decisions become real only when the
     // downstream channel acks them, so replies are released after the
@@ -366,12 +470,23 @@ void DispatchService::Loop() {
       DPDP_TRACE_SPAN("serve.commit");
       const auto commit_start = std::chrono::steady_clock::now();
       std::this_thread::sleep_for(std::chrono::microseconds(config_.commit_us));
+      const int64_t commit_end_ns = MonotonicNanos();
       metrics.commit_latency->Record(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         commit_start)
               .count());
+      const int64_t commit_start_ns = ToNanos(commit_start);
+      for (int i = 0; i < n; ++i) {
+        if (!live[i].trace.active()) continue;
+        live[i].trace =
+            obs::RecordHop("serve.hop.commit", live[i].trace, commit_start_ns,
+                           commit_end_ns, obs::FlowPhase::kStep);
+        metrics.hop_commit->Record(
+            SecondsBetween(commit_start_ns, commit_end_ns));
+      }
     }
 
+    const int64_t reply_start_ns = MonotonicNanos();
     for (int i = 0; i < n; ++i) {
       const GreedyQChoice choice =
           ArgmaxFeasibleQ(states[i], indices[i], q, batch.offset(i));
@@ -385,6 +500,17 @@ void DispatchService::Loop() {
         metrics.degraded->Add();
         if (shard_degraded_ != nullptr) shard_degraded_->Add();
       }
+      const int64_t reply_ns = MonotonicNanos();
+      metrics.request_latency->Record(
+          SecondsBetween(ToNanos(live[i].enqueue_time), reply_ns));
+      if (live[i].trace.active()) {
+        // Terminal hop: the reply leaves the fabric, the flow lane ends.
+        live[i].trace =
+            obs::RecordHop("serve.hop.reply", live[i].trace, reply_start_ns,
+                           reply_ns, obs::FlowPhase::kEnd);
+        metrics.hop_reply->Record(SecondsBetween(reply_start_ns, reply_ns));
+      }
+      reply.trace_id = live[i].trace.trace_id;
       live[i].reply.set_value(reply);
     }
     batches_.fetch_add(1, std::memory_order_relaxed);

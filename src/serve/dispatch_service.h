@@ -244,6 +244,7 @@ class DispatchService : public DecisionService {
   obs::Counter* shard_deadline_exceeded_ = nullptr;
   obs::Counter* shard_rerouted_ = nullptr;
   obs::Counter* shard_restarts_ = nullptr;
+  obs::Gauge* shard_queue_depth_ = nullptr;
   /// Span name "serve.shard<k>"; stored so the const char* outlives spans.
   std::string shard_span_name_;
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "rl/dqn_agent.h"
 #include "serve/service_dispatcher.h"
 #include "util/status.h"
@@ -88,9 +89,22 @@ LoadReport RunClients(const std::vector<const Instance*>& instances,
       report.wall_seconds > 0.0
           ? static_cast<double>(report.total_decisions) / report.wall_seconds
           : 0.0;
-  report.p50_us = PercentileNearestRank(all_latencies, 0.50) * 1e6;
-  report.p95_us = PercentileNearestRank(all_latencies, 0.95) * 1e6;
-  report.p99_us = PercentileNearestRank(all_latencies, 0.99) * 1e6;
+  // Percentiles via the shared histogram-quantile estimator over the
+  // standard latency buckets — the same math the telemetry plane applies
+  // to the serve.* histograms, so a load report's p99 and a /metrics
+  // scrape's p99 come from one definition.
+  obs::Histogram histogram("load.latency_s", obs::LatencyBucketsSeconds());
+  for (const double seconds : all_latencies) histogram.Record(seconds);
+  obs::MetricSnapshot snapshot;
+  snapshot.name = histogram.name();
+  snapshot.kind = obs::MetricSnapshot::Kind::kHistogram;
+  snapshot.count = histogram.Count();
+  snapshot.sum = histogram.Sum();
+  snapshot.bounds = histogram.bounds();
+  snapshot.buckets = histogram.BucketCounts();
+  report.p50_us = obs::HistogramQuantile(snapshot, 0.50) * 1e6;
+  report.p95_us = obs::HistogramQuantile(snapshot, 0.95) * 1e6;
+  report.p99_us = obs::HistogramQuantile(snapshot, 0.99) * 1e6;
   return report;
 }
 

@@ -34,8 +34,12 @@ struct LoadReport {
   double wall_seconds = 0.0;
   long total_decisions = 0;
   double decisions_per_second = 0.0;
-  /// Round-trip decision latency percentiles over all clients
-  /// (nearest-rank over the raw samples, not histogram-bucketed).
+  /// Round-trip decision latency percentiles over all clients, estimated
+  /// with obs::HistogramQuantile over the standard latency buckets — the
+  /// same estimator the telemetry plane applies to the serve.* histograms,
+  /// so load-report and /metrics percentiles share one definition (exact
+  /// up to bucket resolution; see PercentileNearestRank for raw-sample
+  /// percentiles).
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;

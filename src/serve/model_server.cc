@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rl/checkpoint.h"
@@ -67,6 +68,8 @@ bool ModelServer::Publish(std::shared_ptr<const ModelSnapshot> snapshot) {
     }
     snapshot_ = std::move(snapshot);
     Metrics().seq->Set(static_cast<double>(snapshot_->seq));
+    obs::RecordFlight(obs::FlightEventKind::kPublish, "serve.publish", -1,
+                      snapshot_->seq);
   }
   Metrics().swaps->Add();
   return true;
@@ -131,6 +134,8 @@ void ModelServer::RecordProbeFailure(const std::string& path,
                  << (rename_ec ? " (skip-listed; rename failed)"
                                : " (renamed to .bad)");
   Metrics().ckpt_rejected->Add();
+  obs::RecordFlight(obs::FlightEventKind::kQuarantine, "serve.quarantine", -1,
+                    entry.failures);
   if (rename_ec) {
     entry.quarantined = true;
   } else {

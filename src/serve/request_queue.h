@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/dispatcher.h"
 
 namespace dpdp::serve {
@@ -30,6 +31,10 @@ struct ServeReply {
   bool deadline_exceeded = false;
   uint64_t model_seq = 0; ///< Snapshot that scored (or shed) the request.
   int shard = -1;         ///< Answering shard (-1 outside a sharded fabric).
+  /// Distributed-trace id of the request (0 when tracing was off at
+  /// submit). Lets a caller correlate its reply with the request's hop
+  /// lane in the exported Chrome trace.
+  uint64_t trace_id = 0;
 };
 
 /// One queued decision request. The context is borrowed: the submitter
@@ -43,6 +48,10 @@ struct DecisionRequest {
   /// answers with the greedy fallback instead of the model.
   std::chrono::steady_clock::time_point deadline;
   bool has_deadline = false;
+  /// Request-scoped trace identity, updated at every recorded hop so the
+  /// next hop parent-links to the previous one. Inactive ({0, 0}) when
+  /// tracing is disabled — carrying it then costs two dead u64s.
+  obs::TraceContext trace;
 };
 
 /// Outcome of a push attempt. kFull and kClosed are deliberately distinct:

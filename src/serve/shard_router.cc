@@ -1,12 +1,44 @@
 #include "serve/shard_router.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/log.h"
+#include "util/timer.h"
 
 namespace dpdp::serve {
+namespace {
+
+/// Submit -> admitted-elsewhere latency of rerouted requests (failover
+/// overlay or closed-queue hops). Recorded only when a reroute actually
+/// happens, so the home-shard fast path pays nothing.
+obs::Histogram& RerouteLatency() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "serve.reroute_latency_s", obs::LatencyBucketsSeconds());
+  return *histogram;
+}
+
+/// Router-side handle for the shared route-hop histogram (the same
+/// serve.hop.route_s rows the single-service Submit records).
+obs::Histogram& RouteHopLatency() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "serve.hop.route_s", obs::LatencyBucketsSeconds());
+  return *histogram;
+}
+
+int64_t ToNanos(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 const char* RouterPolicyName(RouterPolicy policy) {
   switch (policy) {
@@ -120,6 +152,9 @@ void ShardRouter::TripShard(int k) {
   if (tripped_[k]) return;
   tripped_[k] = true;
   RebuildOverlayLocked();
+  obs::RecordFlight(obs::FlightEventKind::kReroute, "serve.trip", k,
+                    static_cast<uint64_t>(overlay_ ? overlay_->redirect[k]
+                                                   : k));
 }
 
 void ShardRouter::RestoreShard(int k) {
@@ -128,6 +163,7 @@ void ShardRouter::RestoreShard(int k) {
   if (!tripped_[k]) return;
   tripped_[k] = false;
   RebuildOverlayLocked();
+  obs::RecordFlight(obs::FlightEventKind::kRestore, "serve.restore", k);
 }
 
 bool ShardRouter::IsTripped(int k) const {
@@ -141,18 +177,39 @@ int ShardRouter::RedirectOf(int home) const {
 }
 
 std::future<ServeReply> ShardRouter::Submit(const DispatchContext& context) {
+  const int64_t route_start = obs::TraceEnabled() ? MonotonicNanos() : 0;
   const int home = ShardOf(context);
   const std::shared_ptr<const Overlay> overlay = CurrentOverlay();
   int target = overlay ? overlay->redirect[home] : home;
   DispatchService& home_shard = *shards_[home];
   DecisionRequest request = home_shard.MakeRequest(context);
   std::future<ServeReply> fut = request.reply.get_future();
+  const int64_t enqueue_ns = ToNanos(request.enqueue_time);
+  if (request.trace.active()) {
+    // The routing hop (shard choice + overlay lookup) starts the request's
+    // flow lane; admission hops below extend it.
+    const int64_t now = MonotonicNanos();
+    request.trace = obs::RecordHop("serve.hop.route", request.trace,
+                                   route_start, now, obs::FlowPhase::kStart);
+    RouteHopLatency().Record(static_cast<double>(now - route_start) / 1e9);
+  }
   const int n = num_shards();
   for (int hop = 0; hop < n; ++hop) {
     DispatchService* shard = shards_[target].get();
+    if (request.trace.active() && target != home) {
+      // One reroute hop per diverted admission attempt, recorded before
+      // Admit can move the request into the target's queue.
+      const int64_t now = MonotonicNanos();
+      request.trace = obs::RecordHop("serve.hop.reroute", request.trace, now,
+                                     now, obs::FlowPhase::kStep);
+    }
     const PushResult result = shard->Admit(&request);
     if (result == PushResult::kAdmitted) {
-      if (target != home) home_shard.CountReroute();
+      if (target != home) {
+        home_shard.CountReroute();
+        RerouteLatency().Record(
+            static_cast<double>(MonotonicNanos() - enqueue_ns) / 1e9);
+      }
       return fut;
     }
     if (result == PushResult::kFull) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/log.h"
@@ -120,6 +121,8 @@ bool ShardSupervisor::RestartShard(int k) {
   if (!router_->shard(k).Restart(&orphans)) return false;
   DPDP_LOG(INFO) << "shard " << k << " restarted; rerouting "
                  << orphans.size() << " orphaned request(s)";
+  obs::RecordFlight(obs::FlightEventKind::kRestart, "serve.restart", k,
+                    orphans.size());
   RerouteOrphans(k, &orphans);
   return true;
 }
@@ -134,6 +137,13 @@ void ShardSupervisor::RerouteOrphans(int home,
   for (DecisionRequest& request : *orphans) {
     int target = router_->RedirectOf(home);
     bool answered = false;
+    if (request.trace.active()) {
+      // The orphan's lane continues on the supervisor thread: one readmit
+      // hop linking its pre-crash hops to wherever it lands next.
+      const int64_t now = MonotonicNanos();
+      request.trace = obs::RecordHop("serve.hop.readmit", request.trace, now,
+                                     now, obs::FlowPhase::kStep);
+    }
     for (int hop = 0; hop < n; ++hop) {
       DispatchService& shard = router_->shard(target);
       const PushResult result = shard.Readmit(&request);
@@ -169,7 +179,12 @@ void ShardSupervisor::ScanOnceLocked(int64_t now_ns) {
         health_[k] = verdict;
         // A crash is one failure event — the edge into dead, not the dead
         // state persisting across scans while the breaker backs off.
-        if (prev != ShardHealth::kDead) breaker.RecordFailure(now_ns);
+        if (prev != ShardHealth::kDead) {
+          breaker.RecordFailure(now_ns);
+          // The black-box moment: capture the recent-event rings exactly
+          // once per death, before failover/restart overwrite them.
+          obs::FlightRecorderAutoDump("shard_dead");
+        }
         FailOver(k);
         // Restart gated by the breaker: closed (under threshold) restarts
         // now; half-open means the backoff elapsed and this restart IS the
@@ -208,7 +223,12 @@ void ShardSupervisor::ScanOnceLocked(int64_t now_ns) {
       }
     }
     health_gauges_[k]->Set(static_cast<double>(verdict));
-    breaker_gauges_[k]->Set(static_cast<double>(breaker.StateAt(now_ns)));
+    const double breaker_state = static_cast<double>(breaker.StateAt(now_ns));
+    if (breaker_state != breaker_gauges_[k]->Value()) {
+      obs::RecordFlight(obs::FlightEventKind::kBreaker, "serve.breaker", k,
+                        static_cast<uint64_t>(breaker_state));
+    }
+    breaker_gauges_[k]->Set(breaker_state);
   }
 }
 

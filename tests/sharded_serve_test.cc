@@ -95,6 +95,29 @@ double RegistryCounter(const std::string& name) {
   return 0.0;
 }
 
+/// Current value of a registry gauge (-1 when it does not exist yet).
+double RegistryGauge(const std::string& name) {
+  for (const obs::MetricSnapshot& snap :
+       obs::MetricsRegistry::Global().Snapshot()) {
+    if (snap.name == name && snap.kind == obs::MetricSnapshot::Kind::kGauge) {
+      return snap.value;
+    }
+  }
+  return -1.0;
+}
+
+/// Sample count of a registry histogram (0 when it does not exist yet).
+uint64_t RegistryHistogramCount(const std::string& name) {
+  for (const obs::MetricSnapshot& snap :
+       obs::MetricsRegistry::Global().Snapshot()) {
+    if (snap.name == name &&
+        snap.kind == obs::MetricSnapshot::Kind::kHistogram) {
+      return snap.count;
+    }
+  }
+  return 0;
+}
+
 /// A hand-built decision context (no simulator) for request-level tests.
 /// Vehicle v's incremental length is 3 + v, so the greedy fallback picks 0.
 struct FixedContext {
@@ -337,6 +360,112 @@ TEST(ShardRouterTest, DrainModeShedsOnEveryShardWithPerShardAccounting) {
   for (size_t k = 0; k < stats.shards.size(); ++k) {
     EXPECT_EQ(stats.shards[k].sheds, stats.shards[k].requests);
   }
+  router.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry rollup: queue-depth gauges, latency histogram, reroute latency
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryRollupTest, QueueDepthAndLatencyRollUpAcrossShards) {
+  const std::vector<Instance> campuses = MakeCampuses(4, 6, 3, /*seed=*/67);
+  const std::vector<const Instance*> ptrs = Pointers(campuses);
+  const AgentConfig config = MakeStDdqnConfig(29);
+  ModelServer models(config);
+
+  const double requests_before = RegistryCounter("serve.requests");
+  const uint64_t latency_before =
+      RegistryHistogramCount("serve.request_latency_s");
+  std::map<int, double> shard_requests_before;
+  for (int k = 0; k < 2; ++k) {
+    shard_requests_before[k] =
+        RegistryCounter("serve.shard" + std::to_string(k) + ".requests");
+  }
+
+  ShardedServeConfig serve_config;
+  serve_config.num_shards = 2;
+  serve_config.shard.max_batch = 4;
+  serve_config.shard.max_wait_us = 200;
+  ShardRouter router(serve_config, &models);
+  LoadOptions options;
+  const LoadReport served = RunServedLoad(ptrs, &router, options);
+  router.Stop();
+  ASSERT_GT(served.total_decisions, 0);
+
+  // Queue-depth gauges exist for the aggregate and every shard, and after
+  // a drained run they all read 0 — the last batch pop saw an empty
+  // backlog. (A -1 here means the gauge was never registered.)
+  EXPECT_EQ(RegistryGauge("serve.queue_depth"), 0.0);
+  for (int k = 0; k < 2; ++k) {
+    EXPECT_EQ(RegistryGauge("serve.shard" + std::to_string(k) +
+                            ".queue_depth"),
+              0.0)
+        << "shard " << k;
+  }
+
+  // Every answered request records one end-to-end latency sample, on every
+  // path (served / shed / deadline) — the histogram the SLO monitor's p99
+  // objective reads. Its count delta must match the requests delta, which
+  // in turn must equal the per-shard rollup.
+  const double aggregate_delta =
+      RegistryCounter("serve.requests") - requests_before;
+  EXPECT_EQ(static_cast<double>(
+                RegistryHistogramCount("serve.request_latency_s") -
+                latency_before),
+            aggregate_delta);
+  double shard_delta = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    shard_delta +=
+        RegistryCounter("serve.shard" + std::to_string(k) + ".requests") -
+        shard_requests_before[k];
+  }
+  EXPECT_DOUBLE_EQ(aggregate_delta, shard_delta);
+  EXPECT_DOUBLE_EQ(aggregate_delta,
+                   static_cast<double>(served.total_decisions));
+
+  // The load generator's percentiles come from the same histogram-quantile
+  // estimator the telemetry plane uses, so they are finite and ordered.
+  EXPECT_GE(served.p95_us, served.p50_us);
+  EXPECT_GE(served.p99_us, served.p95_us);
+  EXPECT_GT(served.p99_us, 0.0);
+}
+
+TEST(TelemetryRollupTest, RerouteRecordsItsLatencyHistogram) {
+  ModelServer models(MakeStDdqnConfig(43));
+  ShardedServeConfig serve_config;
+  serve_config.num_shards = 2;
+  serve_config.shard.max_wait_us = 200;
+  ShardRouter router(serve_config, &models);
+
+  // A campus homed on shard 0, with shard 0's partition failed over: the
+  // submit diverts to shard 1 and must record exactly one reroute-latency
+  // sample (the fast path records none).
+  std::string campus;
+  for (int i = 0; i < 10000 && campus.empty(); ++i) {
+    const std::string name = "campus-" + std::to_string(i);
+    if (router.ShardOfCampus(name) == 0) campus = name;
+  }
+  ASSERT_FALSE(campus.empty());
+  Instance inst = MakeTestInstance({MakeOrder(0, 1, 3, 5, 0, 600)}, 4);
+  inst.name = campus;
+  const FixedContext fixed(&inst);
+
+  const uint64_t reroute_before =
+      RegistryHistogramCount("serve.reroute_latency_s");
+  router.TripShard(0);
+  const ServeReply diverted = router.Submit(fixed.context).get();
+  EXPECT_EQ(diverted.shard, 1);
+  EXPECT_FALSE(diverted.shed);
+  EXPECT_EQ(RegistryHistogramCount("serve.reroute_latency_s"),
+            reroute_before + 1);
+  EXPECT_EQ(router.shard(0).rerouted(), 1u);
+
+  // Restored: the next submit stays home and records nothing.
+  router.RestoreShard(0);
+  const ServeReply home = router.Submit(fixed.context).get();
+  EXPECT_EQ(home.shard, 0);
+  EXPECT_EQ(RegistryHistogramCount("serve.reroute_latency_s"),
+            reroute_before + 1);
   router.Stop();
 }
 
