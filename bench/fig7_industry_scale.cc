@@ -48,7 +48,7 @@ int main() {
   // prediction are shared read-only), so the four trainings run in
   // parallel on the process-wide pool.
   const std::vector<std::string> methods = dpdp::ComparisonDrlMethods();
-  std::vector<std::unique_ptr<dpdp::LearningDispatcher>> trained(
+  std::vector<std::unique_ptr<dpdp::Agent>> trained(
       methods.size());
   dpdp::GlobalThreadPool()->ParallelFor(
       static_cast<int>(methods.size()), [&](int m) {
@@ -65,7 +65,7 @@ int main() {
         agent->FinalizeTraining();
         trained[m] = std::move(agent);
       });
-  std::map<std::string, std::unique_ptr<dpdp::LearningDispatcher>> agents;
+  std::map<std::string, std::unique_ptr<dpdp::Agent>> agents;
   for (size_t m = 0; m < methods.size(); ++m) {
     agents[methods[m]] = std::move(trained[m]);
     std::printf("trained %s (%d episodes)\n", methods[m].c_str(), episodes);

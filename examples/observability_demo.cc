@@ -47,7 +47,7 @@ int main() {
   dpdp::SimulatorConfig sim_config;
   sim_config.predicted_std = predicted.value();
   dpdp::Simulator simulator(&instance, sim_config);
-  std::unique_ptr<dpdp::LearningDispatcher> agent =
+  std::unique_ptr<dpdp::Agent> agent =
       dpdp::MakeAgentByName("DQN", /*seed=*/1);
   agent->set_training(true);
 

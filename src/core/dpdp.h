@@ -30,6 +30,8 @@
 ///   exact/   branch-and-bound optimal PDP solver
 ///   serve/   online dispatch fabric (micro-batching, sharding, hot-swap,
 ///            shedding, deadlines, chaos + supervised failover)
+///   train/   Ape-X actor-learner training fabric (actors decide through
+///            the serving path, sharded replay, hot-swapped learner)
 ///   exp/     experiment harness shared by the bench binaries
 
 #include "baselines/greedy_baselines.h"
@@ -73,6 +75,10 @@
 #include "stpred/predictor.h"
 #include "stpred/st_score.h"
 #include "stpred/std_matrix.h"
+#include "train/actor.h"
+#include "train/apex.h"
+#include "train/learner.h"
+#include "train/replay_shard.h"
 #include "util/env.h"
 #include "util/log.h"
 #include "util/result.h"

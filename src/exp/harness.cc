@@ -37,8 +37,8 @@ DpdpDataset::Config StandardDatasetConfig(uint64_t seed,
   return config;
 }
 
-std::unique_ptr<LearningDispatcher> MakeAgentByName(const std::string& method,
-                                                    uint64_t seed) {
+std::unique_ptr<Agent> MakeAgentByName(const std::string& method,
+                                       uint64_t seed) {
   if (method == "AC") {
     AgentConfig c = MakeDqnConfig(seed);  // Vanilla AC: no graph, no ST.
     return std::make_unique<ActorCriticAgent>(c, "AC");
@@ -90,7 +90,7 @@ DrlOutcome TrainEvalOnInstance(const Instance& instance,
 
   DrlOutcome out;
   out.method = method;
-  std::unique_ptr<LearningDispatcher> agent = MakeAgentByName(method, seed);
+  std::unique_ptr<Agent> agent = MakeAgentByName(method, seed);
 
   WallTimer timer;
   agent->set_training(true);

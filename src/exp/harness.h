@@ -8,7 +8,7 @@
 #include "datagen/dataset.h"
 #include "model/instance.h"
 #include "nn/matrix.h"
-#include "rl/learning.h"
+#include "rl/agent.h"
 #include "rl/trainer.h"
 #include "sim/simulator.h"
 #include "util/env.h"
@@ -28,8 +28,8 @@ DpdpDataset::Config StandardDatasetConfig(uint64_t seed,
 
 /// Builds a DRL agent by its paper name: "DQN", "AC", "DDQN", "ST-DDQN",
 /// "DGN", "DDGN" or "ST-DDGN". Aborts on unknown names.
-std::unique_ptr<LearningDispatcher> MakeAgentByName(const std::string& method,
-                                                    uint64_t seed);
+std::unique_ptr<Agent> MakeAgentByName(const std::string& method,
+                                       uint64_t seed);
 
 /// Names of the four comparison DRL methods of Table I / Figs. 6-7.
 const std::vector<std::string>& ComparisonDrlMethods();

@@ -21,18 +21,6 @@ ActorCriticAgent::ActorCriticAgent(const AgentConfig& config,
                                            config_.grad_clip_norm);
 }
 
-double ActorCriticAgent::InstantReward(const DispatchContext& context,
-                                       int chosen) const {
-  const VehicleOption& opt = context.options[chosen];
-  const VehicleConfig& cfg = context.instance->vehicle_config;
-  const double fixed_flag = config_.literal_used_flag_cost
-                                ? (opt.used ? 1.0 : 0.0)
-                                : (opt.used ? 0.0 : 1.0);
-  return -config_.reward_alpha *
-         (cfg.fixed_cost * fixed_flag +
-          cfg.cost_per_km * opt.incremental_length);
-}
-
 namespace {
 
 /// Softmax over rows [offset, offset + m) of a logits column.
@@ -61,7 +49,7 @@ std::vector<double> ActorCriticAgent::PolicyOnSubFleet(
   return SoftmaxSlice(logits, 0, static_cast<int>(idx.size()));
 }
 
-int ActorCriticAgent::ChooseVehicle(const DispatchContext& context) {
+int ActorCriticAgent::Act(const DispatchContext& context) {
   const FleetState state = BuildFleetState(context, config_);
   const std::vector<int> idx = state.FeasibleIndices();
   DPDP_CHECK(!idx.empty());
@@ -83,23 +71,22 @@ int ActorCriticAgent::ChooseVehicle(const DispatchContext& context) {
   const int action = idx[sub_action];
   if (training_) {
     episode_.push_back({StoredFleetState::FromFleetState(state), action,
-                        InstantReward(context, action)});
+                        InstantReward(context, action, config_)});
     decision_recorded_ = true;
   }
   return action;
 }
 
-void ActorCriticAgent::OnOrderAssigned(const DispatchContext& context,
-                                       int vehicle) {
+void ActorCriticAgent::Observe(const DispatchContext& context, int vehicle) {
   if (!training_ || !decision_recorded_) return;
   decision_recorded_ = false;
   EpisodeStep& step = episode_.back();
   if (vehicle == step.action) return;
   step.action = vehicle;
-  step.instant_reward = InstantReward(context, vehicle);
+  step.instant_reward = InstantReward(context, vehicle, config_);
 }
 
-void ActorCriticAgent::OnEpisodeEnd(const EpisodeResult& result) {
+void ActorCriticAgent::Learn(const EpisodeResult& result) {
   (void)result;
   if (!training_ || episode_.empty()) return;
   TrainEpisode();

@@ -6,8 +6,8 @@
 #include <vector>
 
 #include "nn/optimizer.h"
+#include "rl/agent.h"
 #include "rl/config.h"
-#include "rl/learning.h"
 #include "rl/q_network.h"
 #include "rl/replay.h"
 #include "rl/state.h"
@@ -26,19 +26,19 @@ namespace dpdp {
 ///
 /// Training is on-policy at episode end with discounted returns over the
 /// Eq. (8) rewards and advantage A = G - V(S).
-class ActorCriticAgent : public LearningDispatcher {
+class ActorCriticAgent : public Agent {
  public:
   ActorCriticAgent(const AgentConfig& config, std::string name = "AC");
 
   const char* name() const override { return name_.c_str(); }
   /// Returns -1 when the actor emits a non-finite probability (NaN logits)
-  /// so the simulator can degrade to the greedy fallback; nothing is
+  /// so the environment can degrade to the greedy fallback; nothing is
   /// recorded for such a decision.
-  int ChooseVehicle(const DispatchContext& context) override;
+  int Act(const DispatchContext& context) override;
   /// Re-targets the just-recorded step when graceful degradation executed
   /// a different vehicle than the sampled one.
-  void OnOrderAssigned(const DispatchContext& context, int vehicle) override;
-  void OnEpisodeEnd(const EpisodeResult& result) override;
+  void Observe(const DispatchContext& context, int vehicle) override;
+  void Learn(const EpisodeResult& result) override;
 
   void set_training(bool training) override { training_ = training; }
   bool training() const override { return training_; }
@@ -51,13 +51,6 @@ class ActorCriticAgent : public LearningDispatcher {
   std::vector<double> Policy(const DispatchContext& context);
 
  private:
-  struct EpisodeStep {
-    StoredFleetState state;
-    int action;
-    double instant_reward;
-  };
-
-  double InstantReward(const DispatchContext& context, int chosen) const;
   /// Softmax over the feasible sub-fleet's actor logits (one EvaluateBatch
   /// item built in act_batch_).
   std::vector<double> PolicyOnSubFleet(const FleetState& state,

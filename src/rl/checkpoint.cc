@@ -114,16 +114,13 @@ Result<std::string> ReadFile(const std::string& path) {
 
 }  // namespace
 
-Status SaveCheckpoint(const std::string& path, int episodes_done,
-                      const LearningDispatcher& agent, uint64_t seq) {
+Status SaveCheckpointPayload(const std::string& path, int episodes_done,
+                             const std::string& payload, uint64_t seq) {
   DPDP_TRACE_SPAN("ckpt.save");
   WallTimer timer;
   if (episodes_done < 0) {
     return Status::InvalidArgument("episodes_done must be >= 0");
   }
-  std::ostringstream payload_stream;
-  DPDP_RETURN_IF_ERROR(agent.SaveState(&payload_stream));
-  const std::string payload = payload_stream.str();
   if (seq == 0) seq = static_cast<uint64_t>(episodes_done);
 
   // Assemble the full file image in memory; checkpoints here are a few MB
@@ -174,19 +171,35 @@ Status SaveCheckpoint(const std::string& path, int episodes_done,
   return Status::OK();
 }
 
-Result<int> LoadCheckpoint(const std::string& path,
-                           LearningDispatcher* agent) {
+Status SaveCheckpoint(const std::string& path, int episodes_done,
+                      const Agent& agent, uint64_t seq) {
+  std::ostringstream payload_stream;
+  DPDP_RETURN_IF_ERROR(agent.SaveState(&payload_stream));
+  return SaveCheckpointPayload(path, episodes_done, payload_stream.str(),
+                               seq);
+}
+
+Result<CheckpointPayload> LoadCheckpointPayload(const std::string& path) {
   DPDP_TRACE_SPAN("ckpt.load");
-  DPDP_CHECK(agent != nullptr);
   Metrics().loads->Add();
   Result<std::string> contents = ReadFile(path);
   if (!contents.ok()) return contents.status();
   Result<ParsedCheckpoint> parsed = ParseCheckpoint(contents.value(), path);
   if (!parsed.ok()) return parsed.status();
   const ParsedCheckpoint& ckpt = parsed.value();
-  std::istringstream payload(std::string(ckpt.payload, ckpt.payload_size));
+  CheckpointPayload out;
+  out.info = ckpt.info;
+  out.payload.assign(ckpt.payload, ckpt.payload_size);
+  return out;
+}
+
+Result<int> LoadCheckpoint(const std::string& path, Agent* agent) {
+  DPDP_CHECK(agent != nullptr);
+  Result<CheckpointPayload> loaded = LoadCheckpointPayload(path);
+  if (!loaded.ok()) return loaded.status();
+  std::istringstream payload(loaded.value().payload);
   DPDP_RETURN_IF_ERROR(agent->LoadState(&payload));
-  return ckpt.info.episodes_done;
+  return loaded.value().info.episodes_done;
 }
 
 Result<CheckpointInfo> ReadCheckpointInfo(const std::string& path) {

@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "rl/learning.h"
+#include "rl/agent.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -16,7 +16,9 @@ namespace dpdp {
 ///   u32       format version (kCheckpointVersion)
 ///   i32       episodes_done
 ///   u64       payload size in bytes
-///   payload   agent blob (LearningDispatcher::SaveState)
+///   payload   agent blob (Agent::SaveState), possibly followed by
+///             producer extras (e.g. the training fabric's learner state);
+///             consumers that read only the agent prefix stay compatible
 ///   u64       seq — monotonic publication number (version >= 2)
 ///   u32       CRC32 over everything after the magic, up to here
 ///
@@ -39,12 +41,12 @@ constexpr uint32_t kCheckpointVersion = 2;
 /// with seq = episodes_done, which is already monotonic for the training
 /// loop's once-per-episode cadence.
 Status SaveCheckpoint(const std::string& path, int episodes_done,
-                      const LearningDispatcher& agent, uint64_t seq = 0);
+                      const Agent& agent, uint64_t seq = 0);
 
 /// Restores `agent` from `path` and returns the episodes_done recorded in
 /// the file. Corruption (bad magic, size, CRC) or an agent/architecture
 /// mismatch yields kInvalidArgument; a missing file yields kNotFound.
-Result<int> LoadCheckpoint(const std::string& path, LearningDispatcher* agent);
+Result<int> LoadCheckpoint(const std::string& path, Agent* agent);
 
 /// Checkpoint metadata readable without an agent (and thus without
 /// deserializing the payload).
@@ -52,6 +54,23 @@ struct CheckpointInfo {
   int episodes_done = 0;
   uint64_t seq = 0;  ///< episodes_done for version-1 files.
 };
+
+/// Payload-level checkpoint API for producers whose state is more than one
+/// agent (the src/train/ fabric checkpoints [agent blob][learner extras]
+/// as a single payload). Same envelope, atomicity and CRC footer as
+/// SaveCheckpoint — which is now a thin wrapper over this.
+Status SaveCheckpointPayload(const std::string& path, int episodes_done,
+                             const std::string& payload, uint64_t seq = 0);
+
+/// A validated checkpoint's metadata plus its raw (unparsed) payload.
+struct CheckpointPayload {
+  CheckpointInfo info;
+  std::string payload;
+};
+
+/// Reads and validates `path`, returning the payload bytes for the caller
+/// to deserialize (the payload-level twin of LoadCheckpoint).
+Result<CheckpointPayload> LoadCheckpointPayload(const std::string& path);
 
 /// Validates `path` (magic, structure, CRC over the full body) and returns
 /// its footer metadata. This is the serve watcher's staleness probe: a

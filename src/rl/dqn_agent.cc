@@ -71,20 +71,6 @@ DqnFleetAgent::DqnFleetAgent(const AgentConfig& config, std::string name)
                                           1e-8, config_.grad_clip_norm);
 }
 
-double DqnFleetAgent::InstantReward(const DispatchContext& context,
-                                    int chosen) const {
-  const VehicleOption& opt = context.options[chosen];
-  const VehicleConfig& cfg = context.instance->vehicle_config;
-  // Eq. (6). The paper's text charges mu * f; the evident intent (and the
-  // default here) charges the fixed cost when a *fresh* vehicle is used.
-  const double fixed_flag = config_.literal_used_flag_cost
-                                ? (opt.used ? 1.0 : 0.0)
-                                : (opt.used ? 0.0 : 1.0);
-  return -config_.reward_alpha *
-         (cfg.fixed_cost * fixed_flag +
-          cfg.cost_per_km * opt.incremental_length);
-}
-
 const nn::Matrix& DqnFleetAgent::SubFleetQ(const FleetState& state,
                                            FleetQNetwork* net,
                                            const std::vector<int>& idx,
@@ -96,7 +82,7 @@ const nn::Matrix& DqnFleetAgent::SubFleetQ(const FleetState& state,
   return net->EvaluateBatch(*batch);
 }
 
-int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
+int DqnFleetAgent::Act(const DispatchContext& context) {
   const FleetState state = BuildFleetState(context, config_);
   const std::vector<int> feasible = state.FeasibleIndices();
   DPDP_CHECK(!feasible.empty());
@@ -130,25 +116,25 @@ int DqnFleetAgent::ChooseVehicle(const DispatchContext& context) {
     }
     pending_.state = std::move(stored);
     pending_.action = action;
-    pending_.instant_reward = InstantReward(context, action);
+    pending_.instant_reward = InstantReward(context, action, config_);
     pending_.active = true;
     decision_recorded_ = true;
   }
   return action;
 }
 
-void DqnFleetAgent::OnOrderAssigned(const DispatchContext& context,
-                                    int vehicle) {
+void DqnFleetAgent::Observe(const DispatchContext& context, int vehicle) {
   if (!training_ || !decision_recorded_) return;
   decision_recorded_ = false;
   if (vehicle == pending_.action) return;
-  // Graceful degradation (or any simulator override) executed a different
-  // vehicle than we chose: learn from the action that actually happened.
+  // Graceful degradation (or any environment override) executed a
+  // different vehicle than we chose: learn from the action that actually
+  // happened.
   pending_.action = vehicle;
-  pending_.instant_reward = InstantReward(context, vehicle);
+  pending_.instant_reward = InstantReward(context, vehicle, config_);
 }
 
-void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
+void DqnFleetAgent::Learn(const EpisodeResult& result) {
   if (!training_) return;
   if (config_.track_best_weights &&
       epsilon_ <= config_.best_weights_max_epsilon &&
@@ -167,22 +153,11 @@ void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
   }
   if (episode_.empty()) return;
 
-  // Long-term reward (Eq. 7): the episode-mean instant reward, folded into
-  // every transition (Eq. 8).
   const size_t episode_transitions = episode_.size();
-  double mean_reward = 0.0;
-  for (const EpisodeStep& s : episode_) mean_reward += s.instant_reward;
-  mean_reward /= static_cast<double>(episode_.size());
-  for (EpisodeStep& s : episode_) {
-    Transition t;
-    t.state = std::move(s.state);
-    t.action = s.action;
-    t.reward = static_cast<float>(s.instant_reward + mean_reward);
-    t.terminal = s.terminal;
-    t.next_state = std::move(s.next_state);
+  for (Transition& t : FoldEpisodeRewards(std::move(episode_))) {
     replay_.Add(std::move(t));
   }
-  Metrics().transitions->Add(episode_.size());
+  Metrics().transitions->Add(episode_transitions);
   episode_.clear();
 
   if (replay_.size() >= config_.batch_size) {
@@ -202,7 +177,7 @@ void DqnFleetAgent::OnEpisodeEnd(const EpisodeResult& result) {
   epsilon_ = config_.epsilon_start +
              frac * (config_.epsilon_end - config_.epsilon_start);
   if (episodes_trained_ % config_.target_sync_episodes == 0) {
-    nn::CopyParameters(online_->Params(), target_->Params());
+    SyncTarget();
   }
 
   // Fold the episode's greedy-Q accumulators into the Stats() snapshot.
@@ -286,10 +261,6 @@ double DqnFleetAgent::AccumulateTransitionGradient(
 }
 
 void DqnFleetAgent::TrainBatch() {
-  DPDP_TRACE_SPAN("rl.train_batch");
-  WallTimer timer;
-  RlMetrics& metrics = Metrics();
-  metrics.train_batches->Add();
   // The sample always comes from the agent's own rng_, so the replay draw
   // sequence is identical whether the update itself runs serially or in
   // parallel.
@@ -298,10 +269,19 @@ void DqnFleetAgent::TrainBatch() {
     DPDP_TRACE_SPAN("rl.replay_sample");
     batch = replay_.Sample(config_.batch_size, &rng_);
   }
+  TrainOnBatch(batch);
+}
+
+double DqnFleetAgent::TrainOnBatch(
+    const std::vector<const Transition*>& batch) {
+  DPDP_TRACE_SPAN("rl.train_batch");
+  WallTimer timer;
+  RlMetrics& metrics = Metrics();
+  metrics.train_batches->Add();
   if (config_.parallel_batch) {
     TrainBatchParallel(batch);
     metrics.batch_latency->Record(timer.ElapsedSeconds());
-    return;
+    return last_loss_;
   }
 
   // Serial path, fully batched: every transition's next-state sub-fleet is
@@ -393,6 +373,11 @@ void DqnFleetAgent::TrainBatch() {
   optimizer_->Step();
   last_loss_ = loss_sum * inv_batch;
   metrics.batch_latency->Record(timer.ElapsedSeconds());
+  return last_loss_;
+}
+
+void DqnFleetAgent::SyncTarget() {
+  nn::CopyParameters(online_->Params(), target_->Params());
 }
 
 std::unique_ptr<DqnFleetAgent::WorkerNets> DqnFleetAgent::AcquireWorkerNets() {

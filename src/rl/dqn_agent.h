@@ -8,8 +8,8 @@
 #include <vector>
 
 #include "nn/optimizer.h"
+#include "rl/agent.h"
 #include "rl/config.h"
-#include "rl/learning.h"
 #include "rl/q_network.h"
 #include "rl/replay.h"
 #include "rl/state.h"
@@ -23,20 +23,21 @@ namespace dpdp {
 /// ST-DDGN. One network scores the feasible sub-fleet per order; training
 /// uses episode-end reward folding (Eq. 7/8), experience replay, and
 /// (double-)DQN targets with a periodically synced target network.
-class DqnFleetAgent : public LearningDispatcher {
+class DqnFleetAgent : public Agent {
  public:
   DqnFleetAgent(const AgentConfig& config, std::string name);
   ~DqnFleetAgent() override;
 
   const char* name() const override { return name_.c_str(); }
   /// Returns -1 (no usable choice) when the network emits a non-finite
-  /// Q-value for any feasible vehicle; the simulator then degrades to the
-  /// greedy fallback. Nothing is recorded for such a decision.
-  int ChooseVehicle(const DispatchContext& context) override;
-  /// Syncs the recorded transition onto the vehicle the simulator actually
-  /// executed (they differ when graceful degradation overrode the choice).
-  void OnOrderAssigned(const DispatchContext& context, int vehicle) override;
-  void OnEpisodeEnd(const EpisodeResult& result) override;
+  /// Q-value for any feasible vehicle; the environment then degrades to
+  /// the greedy fallback. Nothing is recorded for such a decision.
+  int Act(const DispatchContext& context) override;
+  /// Syncs the recorded transition onto the vehicle the environment
+  /// actually executed (they differ when graceful degradation overrode the
+  /// choice).
+  void Observe(const DispatchContext& context, int vehicle) override;
+  void Learn(const EpisodeResult& result) override;
   /// Restores the best-episode weight snapshot (if any) into the online
   /// and target networks.
   void FinalizeTraining() override;
@@ -78,19 +79,23 @@ class DqnFleetAgent : public LearningDispatcher {
   Status SaveState(std::ostream* os) const override;
   Status LoadState(std::istream* is) override;
 
+  /// One gradient step over an externally sampled minibatch: batched
+  /// (double-)DQN targets, one stacked forward/backward, one Adam step.
+  /// Returns the minibatch Huber loss. The headless-learner entry point of
+  /// the src/train/ fabric, which owns replay sampling itself; the local
+  /// TrainBatch path is Sample + TrainOnBatch.
+  double TrainOnBatch(const std::vector<const Transition*>& batch);
+  /// Copies the online parameters into the target network. Exposed for
+  /// the learner role, which syncs on an update-count schedule instead of
+  /// this agent's episode-count schedule.
+  void SyncTarget();
+
  private:
   struct Pending {
     StoredFleetState state;
     int action = -1;
     double instant_reward = 0.0;
     bool active = false;
-  };
-  struct EpisodeStep {
-    StoredFleetState state;
-    int action;
-    double instant_reward;
-    StoredFleetState next_state;
-    bool terminal;
   };
 
   /// Worker-local online/target network clones used by the parallel
@@ -99,7 +104,6 @@ class DqnFleetAgent : public LearningDispatcher {
   /// parameter values via an explicit per-batch sync.
   struct WorkerNets;
 
-  double InstantReward(const DispatchContext& context, int chosen) const;
   /// One-item forward pass over the feasible sub-fleet via `batch`
   /// (cleared and rebuilt). Returns the Q column, row i = Q(idx[i]); the
   /// reference lives in `net`. Mutates only `net` and `batch`, so distinct

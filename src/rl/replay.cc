@@ -90,6 +90,27 @@ FleetState StoredFleetState::ToFleetState() const {
   return s;
 }
 
+std::vector<Transition> FoldEpisodeRewards(std::vector<EpisodeStep> steps) {
+  std::vector<Transition> out;
+  if (steps.empty()) return out;
+  // Long-term reward (Eq. 7): the episode-mean instant reward, folded into
+  // every transition (Eq. 8).
+  double mean_reward = 0.0;
+  for (const EpisodeStep& s : steps) mean_reward += s.instant_reward;
+  mean_reward /= static_cast<double>(steps.size());
+  out.reserve(steps.size());
+  for (EpisodeStep& s : steps) {
+    Transition t;
+    t.state = std::move(s.state);
+    t.action = s.action;
+    t.reward = static_cast<float>(s.instant_reward + mean_reward);
+    t.terminal = s.terminal;
+    t.next_state = std::move(s.next_state);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 ReplayBuffer::ReplayBuffer(int capacity) : capacity_(capacity) {
   DPDP_CHECK(capacity > 0);
   data_.reserve(static_cast<size_t>(capacity));

@@ -34,6 +34,24 @@ struct Transition {
   StoredFleetState next_state;  ///< Empty when terminal.
 };
 
+/// One recorded decision of an in-flight episode, before the episode-end
+/// reward folding. `next_state` stays empty (and `terminal` true) for the
+/// episode's final decision.
+struct EpisodeStep {
+  StoredFleetState state;
+  int action = -1;
+  double instant_reward = 0.0;
+  StoredFleetState next_state;
+  bool terminal = false;
+};
+
+/// Folds the episode-mean instant reward into every step (Eq. 7/8:
+/// R = r + r_bar, applied at episode end per Algorithm 3) and converts the
+/// steps into replay-ready transitions, preserving decision order. Shared
+/// by the local learning agents and the src/train/ actor-learner fabric so
+/// both produce bit-identical transitions from the same decisions.
+std::vector<Transition> FoldEpisodeRewards(std::vector<EpisodeStep> steps);
+
 /// Fixed-capacity ring-buffer experience replay with uniform sampling.
 class ReplayBuffer {
  public:

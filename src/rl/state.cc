@@ -31,6 +31,20 @@ nn::Matrix FleetState::FeasibleFeatures() const {
   return out;
 }
 
+double InstantReward(const DispatchContext& context, int chosen,
+                     const AgentConfig& config) {
+  const VehicleOption& opt = context.options[chosen];
+  const VehicleConfig& cfg = context.instance->vehicle_config;
+  // Eq. (6). The paper's text charges mu * f; the evident intent (and the
+  // default here) charges the fixed cost when a *fresh* vehicle is used.
+  const double fixed_flag = config.literal_used_flag_cost
+                               ? (opt.used ? 1.0 : 0.0)
+                               : (opt.used ? 0.0 : 1.0);
+  return -config.reward_alpha *
+         (cfg.fixed_cost * fixed_flag +
+          cfg.cost_per_km * opt.incremental_length);
+}
+
 FleetState BuildFleetState(const DispatchContext& context,
                            const AgentConfig& config) {
   const int num_vehicles = static_cast<int>(context.options.size());

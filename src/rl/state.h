@@ -66,6 +66,15 @@ int AppendSubFleetInputs(const FleetState& state, const std::vector<int>& idx,
                          bool use_graph, int num_neighbors,
                          DecisionBatch* batch);
 
+/// The per-decision instant reward r_t of Eq. (6) for executing `chosen`:
+/// the negated, alpha-scaled marginal cost (fixed cost when a fresh
+/// vehicle is opened — or, with config.literal_used_flag_cost, the
+/// paper's literal mu * f — plus cost-per-km times the incremental route
+/// length). Shared by every agent role that records experience: the local
+/// learning agents and the actor-side rollout path in src/train/.
+double InstantReward(const DispatchContext& context, int chosen,
+                     const AgentConfig& config);
+
 /// Vehicle rows the network scores for `state`: the feasible sub-fleet
 /// under constraint embedding, the whole fleet otherwise. Shared by the
 /// learning agents and the serving layer so both score exactly the same

@@ -4,8 +4,8 @@
 #include <fstream>
 
 #include "obs/trace.h"
+#include "rl/agent.h"
 #include "rl/checkpoint.h"
-#include "rl/learning.h"
 #include "stpred/std_matrix.h"
 #include "util/env.h"
 #include "util/log.h"
@@ -23,6 +23,17 @@ std::string TrainOptions::resolved_metrics_path() const {
   if (!metrics_path.empty()) return metrics_path;
   const std::string dir = EnvStr("DPDP_METRICS_DIR", "");
   return dir.empty() ? std::string() : dir + "/metrics.csv";
+}
+
+TrainOptions TrainOptions::FromEnv() {
+  TrainOptions options;
+  options.episodes = EnvInt("DPDP_TRAIN_EPISODES", options.episodes);
+  options.checkpoint_every =
+      EnvInt("DPDP_TRAIN_CHECKPOINT_EVERY", options.checkpoint_every);
+  options.checkpoint_dir = EnvStr("DPDP_TRAIN_CHECKPOINT_DIR", "");
+  options.resume_from = EnvStr("DPDP_TRAIN_RESUME_FROM", "");
+  options.metrics_path = EnvStr("DPDP_TRAIN_METRICS", "");
+  return options;
 }
 
 namespace {
@@ -86,7 +97,7 @@ TrainingCurve RunEpisodes(Simulator* simulator, Dispatcher* dispatcher,
   TrainingCurve curve;
   curve.agent_name = dispatcher->name();
 
-  auto* learner = dynamic_cast<LearningDispatcher*>(dispatcher);
+  auto* learner = dynamic_cast<Agent*>(dispatcher);
   int start_episode = 0;
   if (!options.resume_from.empty()) {
     // Resuming from a checkpoint that doesn't restore is a correctness

@@ -33,7 +33,7 @@ struct TrainOptions {
   /// Optional progress callback (episode index, result).
   std::function<void(int, const EpisodeResult&)> on_episode;
 
-  /// Crash safety: when > 0 and the dispatcher is a LearningDispatcher, a
+  /// Crash safety: when > 0 and the dispatcher is an Agent, a
   /// checkpoint is written after every `checkpoint_every` episodes (and
   /// after the last one) to `checkpoint_path()`.
   int checkpoint_every = 0;
@@ -62,6 +62,15 @@ struct TrainOptions {
   /// metrics_path, falling back to $DPDP_METRICS_DIR/metrics.csv; empty
   /// string disables the per-episode metrics time series.
   std::string resolved_metrics_path() const;
+
+  /// Environment-driven options, mirroring ServeConfigFromEnv so every
+  /// subsystem's knobs parse through the same layer (see README):
+  ///   DPDP_TRAIN_EPISODES          episode count (default 100)
+  ///   DPDP_TRAIN_CHECKPOINT_EVERY  checkpoint cadence, 0 = off
+  ///   DPDP_TRAIN_CHECKPOINT_DIR    checkpoint directory override
+  ///   DPDP_TRAIN_RESUME_FROM       checkpoint file to resume from
+  ///   DPDP_TRAIN_METRICS           metrics.csv path override
+  static TrainOptions FromEnv();
 };
 
 /// Runs `options.episodes` episodes of `simulator` under `dispatcher`

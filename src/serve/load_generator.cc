@@ -10,7 +10,7 @@
 
 #include "obs/metrics.h"
 #include "rl/dqn_agent.h"
-#include "serve/service_dispatcher.h"
+#include "sim/environment.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -18,37 +18,11 @@
 namespace dpdp::serve {
 namespace {
 
-/// Measures per-decision ChooseVehicle latency of a wrapped dispatcher
-/// (the local-agent counterpart of ServiceDispatcher's built-in timing).
-class TimingDispatcher : public Dispatcher {
- public:
-  explicit TimingDispatcher(Dispatcher* inner) : inner_(inner) {}
-
-  const char* name() const override { return inner_->name(); }
-
-  int ChooseVehicle(const DispatchContext& context) override {
-    const auto start = std::chrono::steady_clock::now();
-    const int vehicle = inner_->ChooseVehicle(context);
-    latencies_s_.push_back(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count());
-    return vehicle;
-  }
-
-  void OnOrderAssigned(const DispatchContext& context, int vehicle) override {
-    inner_->OnOrderAssigned(context, vehicle);
-  }
-
-  void OnEpisodeEnd(const EpisodeResult& result) override {
-    inner_->OnEpisodeEnd(result);
-  }
-
-  std::vector<double>& latencies_s() { return latencies_s_; }
-
- private:
-  Dispatcher* const inner_;
-  std::vector<double> latencies_s_;
-};
+double SecondsSince(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 /// Runs every client's episode loop concurrently (one pool thread each)
 /// and fills the aggregate report. `make_dispatcher` builds client i's
@@ -123,18 +97,27 @@ LoadReport RunServedLoad(const std::vector<const Instance*>& instances,
                          DecisionService* service,
                          const LoadOptions& options) {
   DPDP_CHECK(service != nullptr);
+  // Each client drives the Environment step API directly: Submit the
+  // pending decision, block on the reply, Apply it. A degraded reply
+  // (vehicle -1) goes straight into Apply, whose greedy fallback and
+  // degradation accounting are exactly what a local agent's refusal gets.
   return RunClients(
       instances, options, [&](int i, ClientOutcome* out) {
-        ServiceDispatcher dispatcher(
-            service, "served-campus-" + std::to_string(i));
-        Simulator sim(instances[i], options.sim);
+        Environment env(instances[i], options.sim);
         for (int e = 0; e < options.episodes_per_client; ++e) {
-          out->episodes.push_back(sim.RunEpisode(&dispatcher));
+          env.Reset();
+          while (env.AdvanceToDecision()) {
+            const auto start = std::chrono::steady_clock::now();
+            ServeReply reply = service->Submit(env.ObserveDecision()).get();
+            const double elapsed = SecondsSince(start);
+            out->latencies_s.push_back(elapsed);
+            if (reply.shed) ++out->sheds;
+            if (reply.degraded) ++out->degraded;
+            if (reply.deadline_exceeded) ++out->deadline_exceeded;
+            env.Apply(reply.vehicle, elapsed);
+          }
+          out->episodes.push_back(env.result());
         }
-        out->latencies_s = dispatcher.latencies_s();
-        out->sheds = dispatcher.sheds();
-        out->degraded = dispatcher.degraded();
-        out->deadline_exceeded = dispatcher.deadline_exceeded();
       });
 }
 
@@ -145,12 +128,20 @@ LoadReport RunLocalAgentsLoad(const std::vector<const Instance*>& instances,
       instances, options, [&](int i, ClientOutcome* out) {
         DqnFleetAgent agent(agent_config,
                             "local-campus-" + std::to_string(i));
-        TimingDispatcher timed(&agent);
-        Simulator sim(instances[i], options.sim);
+        Environment env(instances[i], options.sim);
         for (int e = 0; e < options.episodes_per_client; ++e) {
-          out->episodes.push_back(sim.RunEpisode(&timed));
+          env.Reset();
+          while (env.AdvanceToDecision()) {
+            const auto start = std::chrono::steady_clock::now();
+            const int vehicle = agent.Act(env.ObserveDecision());
+            out->latencies_s.push_back(SecondsSince(start));
+            const int executed =
+                env.Apply(vehicle, out->latencies_s.back());
+            agent.Observe(env.ObserveDecision(), executed);
+          }
+          agent.Learn(env.result());
+          out->episodes.push_back(env.result());
         }
-        out->latencies_s = std::move(timed.latencies_s());
       });
 }
 

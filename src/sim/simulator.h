@@ -1,61 +1,22 @@
 #ifndef DPDP_SIM_SIMULATOR_H_
 #define DPDP_SIM_SIMULATOR_H_
 
-#include <cstdint>
-#include <memory>
-#include <vector>
-
 #include "model/instance.h"
 #include "nn/matrix.h"
-#include "routing/route_planner.h"
 #include "sim/dispatcher.h"
-#include "sim/vehicle_state.h"
-#include "stpred/divergence.h"
+#include "sim/environment.h"
 
 namespace dpdp {
 
-/// Knobs of the episode simulation (Algorithm 1).
-struct SimulatorConfig {
-  /// Predicted STD matrix (num_factories x T) used to compute the ST Score
-  /// state feature. When empty, every option's st_score is 0 (the vanilla
-  /// DRL baselines and heuristics ignore it anyway).
-  nn::Matrix predicted_std;
-  DivergenceKind divergence = DivergenceKind::kJensenShannon;
-  /// Record per-vehicle visit histories (needed for Fig. 9 capacity
-  /// distributions; costs memory on big fleets).
-  bool record_visits = true;
-  /// Fixed time-interval buffering (Sec. IV-D): orders created within a
-  /// window of this many minutes are held and dispatched together at the
-  /// window boundary (still in creation order). <= 0 reproduces the
-  /// paper's deployed immediate-service strategy.
-  double buffer_window_min = 0.0;
-  /// When > 0, run reinsertion local search (routing/local_search.h) on
-  /// the chosen vehicle's new suffix after every assignment, with this
-  /// many improvement passes. 0 = the paper's pure insertion policy.
-  int local_search_passes = 0;
-  /// Fill EpisodeResult::order_assignment / routes (the problem's formal
-  /// OA / RP outputs).
-  bool record_plan = false;
-  /// Fault injection (sim/disruption.h). Default injects nothing. Episode
-  /// e draws its event stream from DeriveSeed(disruption.seed, e), where e
-  /// counts RunEpisode calls on this Simulator (see set_episodes_run).
-  DisruptionConfig disruption;
-  /// Graceful-degradation time budget: when > 0 and a ChooseVehicle call
-  /// takes longer than this many wall seconds, the decision is discarded
-  /// and the greedy-insertion fallback dispatches instead. Off by default
-  /// because wall-clock thresholds break run-to-run determinism.
-  double decision_time_budget_s = 0.0;
-};
-
-/// The dispatching simulator of Algorithm 1: replays one day's order stream
-/// in creation order, advancing vehicle kinematics to each decision time,
-/// building the per-vehicle options via the route planner (constraint
-/// embedding), delegating the choice to a Dispatcher, and applying the
-/// chosen insertion. Orders are served immediately (no buffering), as in
-/// the paper's deployed configuration.
+/// The callback-style facade over Environment (kept as a thin shim for one
+/// PR while callers migrate to the step API): RunEpisode drives the
+/// Reset / AdvanceToDecision / Apply loop and adapts it to the Dispatcher
+/// callback vocabulary. Behavior — including every metric, span and
+/// result field — is bit-identical to the pre-split monolithic loop.
 class Simulator {
  public:
-  Simulator(const Instance* instance, SimulatorConfig config = {});
+  explicit Simulator(const Instance* instance, SimulatorConfig config = {})
+      : env_(instance, std::move(config)) {}
 
   /// Runs one full episode under `dispatcher` and returns the metrics.
   /// Orders for which no vehicle is feasible are counted unserved and
@@ -65,41 +26,25 @@ class Simulator {
   /// Spatial-temporal capacity distribution (num_factories x T) of the
   /// last episode: residual capacity brought to each (factory, interval)
   /// by all vehicles (Fig. 9). Requires record_visits.
-  nn::Matrix LastCapacityDistribution() const;
+  nn::Matrix LastCapacityDistribution() const {
+    return env_.LastCapacityDistribution();
+  }
 
-  const Instance& instance() const { return *instance_; }
+  const Instance& instance() const { return env_.instance(); }
 
   /// Number of episodes completed on this simulator: the disruption-stream
   /// index of the next episode. The trainer restores it on checkpoint
   /// resume so the remaining episodes see the same fault streams an
   /// uninterrupted run would have.
-  int episodes_run() const { return episodes_run_; }
-  void set_episodes_run(int episodes) { episodes_run_ = episodes; }
+  int episodes_run() const { return env_.episodes_run(); }
+  void set_episodes_run(int episodes) { env_.set_episodes_run(episodes); }
+
+  /// The underlying step-API environment (episode state is shared with
+  /// RunEpisode — don't interleave the two mid-episode).
+  Environment& env() { return env_; }
 
  private:
-  DispatchContext BuildContext(const Order& order, double decision_time);
-
-  /// Applies every pending disruption event with time <= now.
-  void ProcessDisruptionsUntil(double now, EpisodeResult* result);
-  void ApplyBreakdown(const DisruptionEvent& event, EpisodeResult* result);
-  void ApplyCancellation(const DisruptionEvent& event, EpisodeResult* result);
-
-  /// Baseline-1 fallback (min incremental length over feasible options)
-  /// used when the dispatcher's answer is unusable. Requires
-  /// ctx.num_feasible > 0.
-
-  const Instance* instance_;
-  SimulatorConfig config_;
-  RoutePlanner planner_;
-  std::vector<VehicleState> vehicles_;
-
-  int episodes_run_ = 0;
-  // Per-episode fault-injection state.
-  std::vector<DisruptionEvent> events_;
-  size_t next_event_ = 0;
-  std::vector<int> assigned_to_;     ///< order id -> current vehicle or -1.
-  std::vector<uint8_t> dispatched_;  ///< Decision already made / resolved.
-  std::vector<uint8_t> cancelled_;   ///< Cancelled before dispatch.
+  Environment env_;
 };
 
 }  // namespace dpdp

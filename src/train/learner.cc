@@ -1,0 +1,143 @@
+#include "train/learner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dpdp::train {
+namespace {
+
+constexpr char kExtrasMagic[8] = {'D', 'P', 'D', 'P', 'L', 'R', 'N', '1'};
+
+struct LearnerMetrics {
+  obs::Counter* steps =
+      obs::MetricsRegistry::Global().GetCounter("train.learner_steps");
+  obs::Counter* publishes =
+      obs::MetricsRegistry::Global().GetCounter("train.publishes");
+  obs::Gauge* last_loss =
+      obs::MetricsRegistry::Global().GetGauge("train.last_loss");
+};
+
+LearnerMetrics& Metrics() {
+  static LearnerMetrics* metrics = new LearnerMetrics;
+  return *metrics;
+}
+
+template <typename T>
+void WritePod(std::ostream* os, const T& value) {
+  os->write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream* is, T* value) {
+  is->read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(*is);
+}
+
+}  // namespace
+
+Learner::Learner(const AgentConfig& config, ShardedReplayBuffer* replay,
+                 serve::ModelServer* models, uint64_t sampler_seed,
+                 int target_sync_updates)
+    : replay_(replay),
+      models_(models),
+      target_sync_updates_(target_sync_updates),
+      agent_(config, "learner"),
+      sampler_(sampler_seed) {
+  DPDP_CHECK(replay_ != nullptr);
+  DPDP_CHECK(models_ != nullptr);
+  DPDP_CHECK(target_sync_updates_ >= 1);
+}
+
+int Learner::RunUpdates(int updates, int min_replay) {
+  DPDP_TRACE_SPAN("train.learn");
+  const int batch_size = agent_.config().batch_size;
+  const int floor = std::max(min_replay, batch_size);
+  int done = 0;
+  for (int u = 0; u < updates; ++u) {
+    if (replay_->size() < floor) break;
+    const std::vector<Transition> sample =
+        replay_->Sample(batch_size, &sampler_);
+    std::vector<const Transition*> batch;
+    batch.reserve(sample.size());
+    for (const Transition& t : sample) batch.push_back(&t);
+    agent_.TrainOnBatch(batch);
+    ++updates_;
+    ++done;
+    if (updates_ % static_cast<uint64_t>(target_sync_updates_) == 0) {
+      agent_.SyncTarget();
+    }
+  }
+  if (done > 0) {
+    Metrics().steps->Add(done);
+    Metrics().last_loss->Set(agent_.last_loss());
+  }
+  return done;
+}
+
+bool Learner::Publish(uint64_t seq, int episodes_done,
+                      const std::string& source) {
+  auto snapshot = std::make_shared<serve::ModelSnapshot>();
+  snapshot->seq = seq;
+  snapshot->episodes_done = episodes_done;
+  snapshot->source = source;
+  snapshot->weights = agent_.ExportPolicyWeights();
+  const bool published = models_->Publish(std::move(snapshot));
+  if (published) {
+    ++publishes_;
+    Metrics().publishes->Add(1);
+  }
+  return published;
+}
+
+Status Learner::SaveState(std::ostream* os) const {
+  DPDP_CHECK(os != nullptr);
+  Status status = agent_.SaveState(os);
+  if (!status.ok()) return status;
+  os->write(kExtrasMagic, sizeof(kExtrasMagic));
+  const Rng::State state = sampler_.GetState();
+  WritePod(os, state.seed);
+  for (uint64_t word : state.s) WritePod(os, word);
+  WritePod(os, static_cast<uint8_t>(state.have_cached_normal ? 1 : 0));
+  WritePod(os, state.cached_normal);
+  WritePod(os, updates_);
+  WritePod(os, publishes_);
+  if (!*os) return Status::Internal("learner state write failed");
+  return Status::OK();
+}
+
+Status Learner::LoadState(std::istream* is) {
+  DPDP_CHECK(is != nullptr);
+  Status status = agent_.LoadState(is);
+  if (!status.ok()) return status;
+  char magic[sizeof(kExtrasMagic)] = {};
+  is->read(magic, sizeof(magic));
+  if (!*is || std::memcmp(magic, kExtrasMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("bad learner extras magic");
+  }
+  Rng::State state;
+  uint8_t have_cached = 0;
+  uint64_t updates = 0;
+  uint64_t publishes = 0;
+  if (!ReadPod(is, &state.seed) || !ReadPod(is, &state.s[0]) ||
+      !ReadPod(is, &state.s[1]) || !ReadPod(is, &state.s[2]) ||
+      !ReadPod(is, &state.s[3]) || !ReadPod(is, &have_cached) ||
+      !ReadPod(is, &state.cached_normal) || !ReadPod(is, &updates) ||
+      !ReadPod(is, &publishes)) {
+    return Status::InvalidArgument("truncated learner extras");
+  }
+  state.have_cached_normal = have_cached != 0;
+  sampler_.SetState(state);
+  updates_ = updates;
+  publishes_ = publishes;
+  return Status::OK();
+}
+
+}  // namespace dpdp::train

@@ -1,0 +1,71 @@
+#ifndef DPDP_TRAIN_LEARNER_H_
+#define DPDP_TRAIN_LEARNER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "rl/config.h"
+#include "rl/dqn_agent.h"
+#include "serve/model_server.h"
+#include "train/replay_shard.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dpdp::train {
+
+/// The central learner of the Ape-X fabric: owns the only networks in the
+/// training process (a headless DqnFleetAgent — its Act path is never
+/// used), samples minibatches from the sharded replay, steps Adam via
+/// the agent's batched TrainOnBatch, and publishes policy snapshots
+/// through the ModelServer hot-swap channel for the serving path the
+/// actors decide through.
+///
+/// The learner syncs its target network on an UPDATE-count schedule
+/// (target_sync_updates), not the local agent's episode-count schedule —
+/// the learner never sees episode boundaries, only minibatches.
+class Learner {
+ public:
+  /// `replay` and `models` must outlive the learner. `sampler_seed` seeds
+  /// the minibatch sampling stream (part of the fabric checkpoint).
+  Learner(const AgentConfig& config, ShardedReplayBuffer* replay,
+          serve::ModelServer* models, uint64_t sampler_seed,
+          int target_sync_updates);
+
+  /// Runs up to `updates` minibatch gradient steps, stopping early while
+  /// the replay holds fewer than max(min_replay, batch_size) transitions.
+  /// Returns the number of updates actually performed.
+  int RunUpdates(int updates, int min_replay);
+
+  /// Publishes the current online weights as snapshot `seq`. Returns true
+  /// when the snapshot became current (strictly newer than the published
+  /// one).
+  bool Publish(uint64_t seq, int episodes_done, const std::string& source);
+
+  DqnFleetAgent* agent() { return &agent_; }
+  const DqnFleetAgent* agent() const { return &agent_; }
+  uint64_t updates() const { return updates_; }
+  uint64_t publishes() const { return publishes_; }
+  double last_loss() const { return agent_.last_loss(); }
+
+  /// Serializes [agent blob][learner extras] — the agent blob leads so a
+  /// ModelServer checkpoint watcher's scratch agent can restore the
+  /// payload prefix without knowing the fabric exists. The extras carry
+  /// the sampler RNG state and the update counter, making resumed
+  /// training bit-identical to an uninterrupted run.
+  Status SaveState(std::ostream* os) const;
+  Status LoadState(std::istream* is);
+
+ private:
+  ShardedReplayBuffer* const replay_;
+  serve::ModelServer* const models_;
+  const int target_sync_updates_;
+  DqnFleetAgent agent_;
+  Rng sampler_;
+  uint64_t updates_ = 0;
+  uint64_t publishes_ = 0;
+};
+
+}  // namespace dpdp::train
+
+#endif  // DPDP_TRAIN_LEARNER_H_

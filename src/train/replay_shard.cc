@@ -1,0 +1,133 @@
+#include "train/replay_shard.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace dpdp::train {
+namespace {
+
+struct TrainReplayMetrics {
+  obs::Counter* transitions =
+      obs::MetricsRegistry::Global().GetCounter("train.transitions");
+  obs::Gauge* replay_size =
+      obs::MetricsRegistry::Global().GetGauge("train.replay_size");
+};
+
+TrainReplayMetrics& Metrics() {
+  static TrainReplayMetrics* metrics = new TrainReplayMetrics;
+  return *metrics;
+}
+
+template <typename T>
+void WritePod(std::ostream* os, const T& value) {
+  os->write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream* is, T* value) {
+  is->read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(*is);
+}
+
+}  // namespace
+
+ShardedReplayBuffer::ShardedReplayBuffer(int num_shards,
+                                         int capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard) {
+  DPDP_CHECK(num_shards >= 1);
+  DPDP_CHECK(capacity_per_shard >= 1);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(capacity_per_shard));
+  }
+}
+
+void ShardedReplayBuffer::AddEpisode(int episode_index,
+                                     std::vector<Transition> transitions) {
+  DPDP_CHECK(episode_index >= 0);
+  if (transitions.empty()) return;
+  const size_t count = transitions.size();
+  Shard& shard = *shards_[episode_index % num_shards()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Transition& t : transitions) shard.buffer.Add(std::move(t));
+  }
+  Metrics().transitions->Add(count);
+  Metrics().replay_size->Set(static_cast<double>(size()));
+}
+
+std::vector<Transition> ShardedReplayBuffer::Sample(int n, Rng* rng) const {
+  DPDP_CHECK(rng != nullptr);
+  // Phase 1: snapshot per-shard sizes (sizes never shrink, so any global
+  // index valid against the snapshot stays valid against the live shard).
+  std::vector<int> sizes(shards_.size(), 0);
+  int total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    sizes[s] = shards_[s]->buffer.size();
+    total += sizes[s];
+  }
+  DPDP_CHECK(total > 0);
+  // Phase 2: draw global indices and copy each hit under its shard's lock.
+  std::vector<Transition> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int g = rng->UniformInt(total);
+    size_t s = 0;
+    while (g >= sizes[s]) {
+      g -= sizes[s];
+      ++s;
+    }
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    out.push_back(shards_[s]->buffer.at(g));
+  }
+  return out;
+}
+
+int ShardedReplayBuffer::size() const {
+  int total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->buffer.size();
+  }
+  return total;
+}
+
+std::vector<Transition> ShardedReplayBuffer::Snapshot() const {
+  std::vector<Transition> out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (int i = 0; i < shard->buffer.size(); ++i) {
+      out.push_back(shard->buffer.at(i));
+    }
+  }
+  return out;
+}
+
+void ShardedReplayBuffer::Save(std::ostream* os) const {
+  DPDP_CHECK(os != nullptr);
+  WritePod(os, static_cast<int32_t>(num_shards()));
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->buffer.Save(os);
+  }
+}
+
+bool ShardedReplayBuffer::Load(std::istream* is) {
+  DPDP_CHECK(is != nullptr);
+  int32_t shards = 0;
+  if (!ReadPod(is, &shards) || shards != num_shards()) return false;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->buffer.Load(is)) return false;
+  }
+  Metrics().replay_size->Set(static_cast<double>(size()));
+  return true;
+}
+
+}  // namespace dpdp::train

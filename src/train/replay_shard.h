@@ -1,0 +1,79 @@
+#ifndef DPDP_TRAIN_REPLAY_SHARD_H_
+#define DPDP_TRAIN_REPLAY_SHARD_H_
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rl/replay.h"
+#include "util/rng.h"
+
+namespace dpdp::train {
+
+/// Mutex-striped experience replay for the actor-learner fabric: one
+/// ReplayBuffer ring per shard, each behind its own lock, so N actors
+/// committing episodes and a learner sampling minibatches contend on
+/// stripes instead of one global mutex.
+///
+/// Episode placement is a pure function of the GLOBAL episode index
+/// (shard = episode % num_shards), never of which actor produced it —
+/// together with the trainer's ordered commit (episodes are committed in
+/// global episode order in deterministic mode) this makes the buffer
+/// contents, and therefore every sampled minibatch, bit-identical for any
+/// actor count.
+///
+/// Sampling maps a global index drawn in [0, total) onto (shard, slot)
+/// through the per-shard size prefix sums, so a sharded buffer with the
+/// same contents in the same order samples exactly like one flat buffer
+/// of the concatenated shards.
+class ShardedReplayBuffer {
+ public:
+  /// `num_shards` stripes of `capacity_per_shard` transitions each.
+  ShardedReplayBuffer(int num_shards, int capacity_per_shard);
+
+  /// Commits one episode's transitions to shard episode_index % num_shards
+  /// (one lock acquisition for the whole episode, preserving the episode's
+  /// internal transition order). Thread-safe.
+  void AddEpisode(int episode_index, std::vector<Transition> transitions);
+
+  /// Uniformly samples `n` transitions (with replacement) across all
+  /// shards, by value — the copies stay valid however actors mutate the
+  /// buffer afterwards. Requires at least one stored transition.
+  /// Thread-safe; deterministic given quiescent contents and the rng
+  /// state (the deterministic trainer samples only between generations).
+  std::vector<Transition> Sample(int n, Rng* rng) const;
+
+  /// Total transitions currently stored, summed over shards. Thread-safe.
+  int size() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int capacity_per_shard() const { return capacity_per_shard_; }
+
+  /// Copies every stored transition, shard-major. Test hook for the
+  /// conservation stress suite; not used on the training path.
+  std::vector<Transition> Snapshot() const;
+
+  /// Serializes shard count + every shard ring (part of the fabric
+  /// checkpoint). Not concurrency-safe against writers — call at a
+  /// generation barrier.
+  void Save(std::ostream* os) const;
+
+  /// Restores state written by Save. Returns false on malformed input or
+  /// a shard-count / capacity mismatch with this buffer.
+  bool Load(std::istream* is);
+
+ private:
+  struct Shard {
+    explicit Shard(int capacity) : buffer(capacity) {}
+    mutable std::mutex mu;
+    ReplayBuffer buffer;
+  };
+
+  int capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dpdp::train
+
+#endif  // DPDP_TRAIN_REPLAY_SHARD_H_

@@ -1,0 +1,489 @@
+// Correctness suite for the src/train/ Ape-X actor-learner fabric:
+// sharded-replay conservation under concurrent push/sample (exact element
+// accounting), checkpoint roundtrips, the 1-vs-2-vs-4-actor deterministic
+// training golden (bit-identical final weights for any actor count), the
+// kill-the-learner checkpoint-resume golden, greedy fabric-vs-local
+// parity, the Environment step-API parity shim check, and the
+// DPDP_TRAIN_* config layer. Runs under TSan in CI alongside the serve
+// suites — the replay stripes and the actor barrier must hold for
+// arbitrary interleavings.
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rl/config.h"
+#include "rl/dqn_agent.h"
+#include "rl/replay.h"
+#include "sim/environment.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "train/actor.h"
+#include "train/apex.h"
+#include "train/learner.h"
+#include "train/replay_shard.h"
+#include "util/rng.h"
+
+namespace dpdp::train {
+namespace {
+
+using dpdp::testing::MakeOrder;
+using dpdp::testing::MakeTestInstance;
+
+Instance MakeTrainInstance(int num_orders = 8, int num_vehicles = 3) {
+  std::vector<Order> orders;
+  orders.reserve(num_orders);
+  Rng rng(77);
+  for (int i = 0; i < num_orders; ++i) {
+    const int pickup = 1 + rng.UniformInt(2);
+    const int delivery = 3 + rng.UniformInt(2);
+    orders.push_back(MakeOrder(i, pickup, delivery, 2.0 + rng.UniformInt(5),
+                               10.0 * i, 700.0 + 10.0 * i));
+  }
+  return MakeTestInstance(std::move(orders), num_vehicles);
+}
+
+/// Small-but-real agent config: every training knob active, sized so a
+/// 6-episode run stays sub-second.
+AgentConfig MakeTrainAgentConfig(uint64_t seed = 5) {
+  AgentConfig config;
+  config.hidden_dim = 16;
+  config.num_heads = 2;
+  config.attention_levels = 1;
+  config.num_neighbors = 2;
+  config.replay_capacity = 256;
+  config.batch_size = 4;
+  config.updates_per_episode = 1;
+  config.scale_updates_with_episode = false;
+  config.epsilon_start = 0.5;
+  config.epsilon_end = 0.1;
+  config.epsilon_decay_episodes = 6;
+  config.target_sync_episodes = 2;
+  config.track_best_weights = false;
+  config.seed = seed;
+  return config;
+}
+
+ApexConfig MakeApexConfig() {
+  ApexConfig config;
+  config.num_actors = 1;
+  config.episodes = 6;
+  config.sync_every = 2;
+  config.deterministic = true;
+  config.replay_shards = 3;
+  config.shard_capacity = 128;
+  config.updates_per_generation = 2;
+  config.target_sync_updates = 3;
+  config.serve.max_batch = 4;
+  config.serve.max_wait_us = 50;
+  return config;
+}
+
+Transition MakeTaggedTransition(double tag) {
+  Transition t;
+  t.action = 0;
+  t.reward = static_cast<float>(tag);
+  t.terminal = true;
+  return t;
+}
+
+void ExpectSameWeights(const std::vector<nn::Matrix>& a,
+                       const std::vector<nn::Matrix>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].rows(), b[i].rows());
+    ASSERT_EQ(a[i].cols(), b[i].cols());
+    for (int r = 0; r < a[i].rows(); ++r) {
+      for (int c = 0; c < a[i].cols(); ++c) {
+        ASSERT_EQ(a[i](r, c), b[i](r, c))
+            << "param " << i << " (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+void ExpectSameEpisode(const EpisodeResult& a, const EpisodeResult& b) {
+  EXPECT_EQ(a.num_orders, b.num_orders);
+  EXPECT_EQ(a.num_served, b.num_served);
+  EXPECT_EQ(a.num_unserved, b.num_unserved);
+  EXPECT_EQ(a.num_decisions, b.num_decisions);
+  EXPECT_EQ(a.num_degraded_decisions, b.num_degraded_decisions);
+  EXPECT_EQ(a.nuv, b.nuv);
+  EXPECT_EQ(a.total_travel_length, b.total_travel_length);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.sum_incremental_length, b.sum_incremental_length);
+}
+
+// --- ShardedReplayBuffer ---------------------------------------------------
+
+TEST(ShardedReplayBufferTest, ConservesEveryElementUnderConcurrency) {
+  // 4 pushers commit episodes with globally unique reward tags while 2
+  // samplers hammer Sample. Capacity is big enough that nothing is ever
+  // evicted, so afterwards the stored multiset must be EXACTLY the pushed
+  // multiset — any lost, duplicated or torn element fails.
+  constexpr int kPushers = 4;
+  constexpr int kEpisodesPerPusher = 25;
+  constexpr int kTransitionsPerEpisode = 7;
+  ShardedReplayBuffer replay(/*num_shards=*/5, /*capacity_per_shard=*/1024);
+  // Seed one element so concurrent samplers never see an empty buffer.
+  replay.AddEpisode(0, {MakeTaggedTransition(-1.0)});
+
+  std::vector<std::thread> pushers;
+  for (int p = 0; p < kPushers; ++p) {
+    pushers.emplace_back([&replay, p] {
+      for (int e = 0; e < kEpisodesPerPusher; ++e) {
+        const int episode = 1 + p * kEpisodesPerPusher + e;
+        std::vector<Transition> transitions;
+        for (int t = 0; t < kTransitionsPerEpisode; ++t) {
+          transitions.push_back(
+              MakeTaggedTransition(episode * 100.0 + t));
+        }
+        replay.AddEpisode(episode, std::move(transitions));
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> samplers;
+  for (int s = 0; s < 2; ++s) {
+    samplers.emplace_back([&replay, &stop, s] {
+      Rng rng(1000 + s);
+      while (!stop.load()) {
+        const std::vector<Transition> batch = replay.Sample(8, &rng);
+        ASSERT_EQ(batch.size(), 8u);
+      }
+    });
+  }
+  for (std::thread& t : pushers) t.join();
+  stop.store(true);
+  for (std::thread& t : samplers) t.join();
+
+  std::multiset<double> expected{-1.0};
+  for (int p = 0; p < kPushers; ++p) {
+    for (int e = 0; e < kEpisodesPerPusher; ++e) {
+      const int episode = 1 + p * kEpisodesPerPusher + e;
+      for (int t = 0; t < kTransitionsPerEpisode; ++t) {
+        expected.insert(episode * 100.0 + t);
+      }
+    }
+  }
+  std::multiset<double> stored;
+  for (const Transition& t : replay.Snapshot()) {
+    stored.insert(t.reward);
+  }
+  EXPECT_EQ(replay.size(),
+            1 + kPushers * kEpisodesPerPusher * kTransitionsPerEpisode);
+  EXPECT_EQ(stored, expected);
+}
+
+TEST(ShardedReplayBufferTest, SamplingIsDeterministicGivenRngState) {
+  ShardedReplayBuffer replay(3, 64);
+  for (int e = 0; e < 9; ++e) {
+    replay.AddEpisode(e, {MakeTaggedTransition(e), MakeTaggedTransition(e + 0.5)});
+  }
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const std::vector<Transition> a = replay.Sample(16, &rng_a);
+  const std::vector<Transition> b = replay.Sample(16, &rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].reward, b[i].reward);
+  }
+}
+
+TEST(ShardedReplayBufferTest, SaveLoadRoundtrip) {
+  ShardedReplayBuffer replay(2, 16);
+  for (int e = 0; e < 6; ++e) {
+    replay.AddEpisode(e, {MakeTaggedTransition(10.0 * e)});
+  }
+  std::stringstream buffer;
+  replay.Save(&buffer);
+
+  ShardedReplayBuffer restored(2, 16);
+  ASSERT_TRUE(restored.Load(&buffer));
+  EXPECT_EQ(restored.size(), replay.size());
+  const std::vector<Transition> a = replay.Snapshot();
+  const std::vector<Transition> b = restored.Snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].reward, b[i].reward);
+
+  // Shape mismatches refuse to load instead of silently reshuffling.
+  std::stringstream again;
+  replay.Save(&again);
+  ShardedReplayBuffer wrong_shards(3, 16);
+  EXPECT_FALSE(wrong_shards.Load(&again));
+  std::stringstream once_more;
+  replay.Save(&once_more);
+  ShardedReplayBuffer wrong_capacity(2, 32);
+  EXPECT_FALSE(wrong_capacity.Load(&once_more));
+}
+
+// --- Reward folding --------------------------------------------------------
+
+TEST(FoldEpisodeRewardsTest, FoldsEpisodeMeanIntoEveryStep) {
+  std::vector<EpisodeStep> steps(3);
+  steps[0].instant_reward = -1.0;
+  steps[1].instant_reward = -2.0;
+  steps[2].instant_reward = -6.0;
+  steps[2].terminal = true;
+  const std::vector<Transition> folded = FoldEpisodeRewards(std::move(steps));
+  ASSERT_EQ(folded.size(), 3u);
+  const double mean = (-1.0 - 2.0 - 6.0) / 3.0;
+  EXPECT_EQ(folded[0].reward, static_cast<float>(-1.0 + mean));
+  EXPECT_EQ(folded[1].reward, static_cast<float>(-2.0 + mean));
+  EXPECT_EQ(folded[2].reward, static_cast<float>(-6.0 + mean));
+  EXPECT_FALSE(folded[0].terminal);
+  EXPECT_TRUE(folded[2].terminal);
+}
+
+// --- Environment step-API shim ---------------------------------------------
+
+/// The greedy-insertion rule as a plain Dispatcher (not an Agent), to
+/// drive the facade.
+class GreedyDispatcher : public Dispatcher {
+ public:
+  const char* name() const override { return "greedy"; }
+  int ChooseVehicle(const DispatchContext& context) override {
+    return GreedyInsertionFallback(context);
+  }
+};
+
+TEST(EnvironmentStepTest, StepLoopMatchesSimulatorFacade) {
+  const Instance instance = MakeTrainInstance();
+  Simulator facade(&instance);
+  GreedyDispatcher greedy;
+  const EpisodeResult via_facade = facade.RunEpisode(&greedy);
+
+  Environment env(&instance);
+  env.Reset();
+  while (env.AdvanceToDecision()) {
+    env.Apply(GreedyInsertionFallback(env.ObserveDecision()));
+  }
+  ExpectSameEpisode(via_facade, env.result());
+  EXPECT_EQ(via_facade.num_orders, static_cast<int>(instance.orders.size()));
+}
+
+// --- Deterministic actor-count invariance ----------------------------------
+
+TEST(ApexTrainerTest, DeterministicModeIsActorCountInvariant) {
+  const Instance instance = MakeTrainInstance();
+  const AgentConfig agent_config = MakeTrainAgentConfig();
+
+  std::vector<std::vector<nn::Matrix>> weights;
+  std::vector<ApexReport> reports;
+  for (const int actors : {1, 2, 4}) {
+    ApexConfig config = MakeApexConfig();
+    config.num_actors = actors;
+    ApexTrainer trainer(&instance, config, agent_config);
+    reports.push_back(trainer.Run());
+    weights.push_back(trainer.PolicyWeights());
+  }
+
+  for (size_t i = 1; i < weights.size(); ++i) {
+    ExpectSameWeights(weights[0], weights[i]);
+    ASSERT_EQ(reports[0].episodes.size(), reports[i].episodes.size());
+    for (size_t e = 0; e < reports[0].episodes.size(); ++e) {
+      ExpectSameEpisode(reports[0].episodes[e], reports[i].episodes[e]);
+    }
+    EXPECT_EQ(reports[0].transitions, reports[i].transitions);
+    EXPECT_EQ(reports[0].learner_updates, reports[i].learner_updates);
+    EXPECT_EQ(reports[0].final_seq, reports[i].final_seq);
+  }
+  // The run genuinely trained and the actors picked up published weights.
+  EXPECT_GT(reports[0].learner_updates, 0u);
+  EXPECT_GE(reports[0].publishes, 1u);
+  EXPECT_GE(reports[0].max_model_seq_seen, 1u);
+  EXPECT_EQ(reports[0].sheds, 0);
+}
+
+// A sharded serving fabric behind the actors must not change the outcome
+// (the batching invariant makes the shard count decision-invariant).
+TEST(ApexTrainerTest, ServeShardCountIsDecisionInvariant) {
+  const Instance instance = MakeTrainInstance();
+  const AgentConfig agent_config = MakeTrainAgentConfig();
+
+  ApexConfig single = MakeApexConfig();
+  single.num_actors = 2;
+  ApexTrainer trainer_single(&instance, single, agent_config);
+  trainer_single.Run();
+
+  ApexConfig sharded = MakeApexConfig();
+  sharded.num_actors = 2;
+  sharded.serve_shards = 2;
+  ApexTrainer trainer_sharded(&instance, sharded, agent_config);
+  trainer_sharded.Run();
+
+  ExpectSameWeights(trainer_single.PolicyWeights(),
+                    trainer_sharded.PolicyWeights());
+}
+
+// --- Kill-the-learner checkpoint resume ------------------------------------
+
+TEST(ApexTrainerTest, ResumeFromFabricCheckpointMatchesUninterrupted) {
+  const Instance instance = MakeTrainInstance();
+  const AgentConfig agent_config = MakeTrainAgentConfig();
+  const std::string dir = ::testing::TempDir() + "/apex_resume";
+
+  // Uninterrupted 6-episode run, checkpointing at every generation.
+  ApexConfig full = MakeApexConfig();
+  full.num_actors = 2;
+  full.checkpoint_every = 1;
+  full.checkpoint_dir = dir;
+  ApexTrainer uninterrupted(&instance, full, agent_config);
+  const ApexReport full_report = uninterrupted.Run();
+  ASSERT_EQ(full_report.episodes_done, 6);
+
+  // "Kill" after generation 2 (4 episodes): a fresh trainer resumes from
+  // that generation's fabric checkpoint and finishes the run. Everything
+  // downstream — actor decisions, replay contents, learner sampling,
+  // final weights — must be bit-identical to never having died.
+  ApexConfig resumed_config = MakeApexConfig();
+  resumed_config.num_actors = 2;
+  resumed_config.resume_from = dir + "/apex-000002.ckpt";
+  ApexTrainer resumed(&instance, resumed_config, agent_config);
+  const ApexReport resumed_report = resumed.Run();
+
+  EXPECT_EQ(resumed_report.episodes_done, 6);
+  ExpectSameWeights(uninterrupted.PolicyWeights(), resumed.PolicyWeights());
+  EXPECT_EQ(uninterrupted.learner_agent()->episodes_trained(),
+            resumed.learner_agent()->episodes_trained());
+  // Only the post-resume episodes were (re)run.
+  ExpectSameEpisode(full_report.episodes[4], resumed_report.episodes[4]);
+  ExpectSameEpisode(full_report.episodes[5], resumed_report.episodes[5]);
+}
+
+// The fabric checkpoint's payload prefix is a plain agent blob: a serving
+// ModelServer pointed at the checkpoint file must be able to restore and
+// publish it (the actors' weight channel is the checkpoint watcher in a
+// multi-process deployment).
+TEST(ApexTrainerTest, FabricCheckpointIsModelServerCompatible) {
+  const Instance instance = MakeTrainInstance();
+  const AgentConfig agent_config = MakeTrainAgentConfig();
+  const std::string dir = ::testing::TempDir() + "/apex_serve_compat";
+
+  ApexConfig config = MakeApexConfig();
+  config.checkpoint_every = 1;
+  config.checkpoint_dir = dir;
+  ApexTrainer trainer(&instance, config, agent_config);
+  const ApexReport report = trainer.Run();
+  ASSERT_GE(report.final_seq, 3u);
+
+  serve::ModelServer models(agent_config);
+  EXPECT_EQ(models.PollOnce(dir), 1);
+  EXPECT_EQ(models.current_seq(), report.final_seq);
+  ExpectSameWeights(models.Current()->weights, trainer.PolicyWeights());
+}
+
+// --- Fabric-vs-local greedy parity -----------------------------------------
+
+TEST(ApexTrainerTest, GreedyFabricEpisodeMatchesLocalAgent) {
+  const Instance instance = MakeTrainInstance();
+  AgentConfig agent_config = MakeTrainAgentConfig();
+  // No exploration, no learning: the fabric episode is pure served
+  // inference on the seq-0 snapshot, which must equal a local
+  // evaluation-mode agent built from the same config.
+  agent_config.epsilon_start = 0.0;
+  agent_config.epsilon_end = 0.0;
+
+  ApexConfig config = MakeApexConfig();
+  config.episodes = 1;
+  config.sync_every = 1;
+  config.updates_per_generation = 0;
+  ApexTrainer trainer(&instance, config, agent_config);
+  const ApexReport report = trainer.Run();
+
+  DqnFleetAgent local(agent_config, "local");
+  Simulator sim(&instance);
+  const EpisodeResult local_result = sim.RunEpisode(&local);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  ExpectSameEpisode(report.episodes[0], local_result);
+  EXPECT_EQ(report.explore_decisions, 0);
+  EXPECT_GT(report.served_decisions, 0);
+}
+
+// --- Async mode smoke -------------------------------------------------------
+
+TEST(ApexTrainerTest, AsyncModeTrainsAndPublishes) {
+  const Instance instance = MakeTrainInstance();
+  const AgentConfig agent_config = MakeTrainAgentConfig();
+  ApexConfig config = MakeApexConfig();
+  config.deterministic = false;
+  config.num_actors = 3;
+  config.episodes = 9;
+  config.sync_every = 3;
+  ApexTrainer trainer(&instance, config, agent_config);
+  const ApexReport report = trainer.Run();
+  EXPECT_EQ(report.episodes_done, 9);
+  EXPECT_GT(report.transitions, 0);
+  EXPECT_GT(report.learner_updates, 0u);
+  EXPECT_GE(report.publishes, 1u);
+  for (const EpisodeResult& episode : report.episodes) {
+    EXPECT_GT(episode.num_decisions, 0);
+  }
+}
+
+// --- Config layer -----------------------------------------------------------
+
+TEST(ApexConfigTest, FromEnvReadsTrainKnobs) {
+  setenv("DPDP_TRAIN_ACTORS", "7", 1);
+  setenv("DPDP_TRAIN_EPISODES", "21", 1);
+  setenv("DPDP_TRAIN_SYNC_EVERY", "3", 1);
+  setenv("DPDP_TRAIN_DETERMINISTIC", "0", 1);
+  setenv("DPDP_TRAIN_REPLAY_SHARDS", "9", 1);
+  setenv("DPDP_TRAIN_SHARD_CAP", "512", 1);
+  setenv("DPDP_TRAIN_MIN_REPLAY", "64", 1);
+  setenv("DPDP_TRAIN_UPDATES_PER_SYNC", "5", 1);
+  setenv("DPDP_TRAIN_TARGET_SYNC_UPDATES", "11", 1);
+  setenv("DPDP_TRAIN_CHECKPOINT_EVERY", "2", 1);
+  setenv("DPDP_TRAIN_CHECKPOINT_DIR", "/tmp/apex-test-ckpts", 1);
+  setenv("DPDP_TRAIN_RESUME_FROM", "/tmp/apex-test-ckpts/apex-000001.ckpt",
+         1);
+  setenv("DPDP_TRAIN_SEED", "31337", 1);
+  setenv("DPDP_TRAIN_SERVE_SHARDS", "2", 1);
+  setenv("DPDP_SERVE_MAX_BATCH", "12", 1);
+
+  const ApexConfig config = ApexConfig::FromEnv();
+  EXPECT_EQ(config.num_actors, 7);
+  EXPECT_EQ(config.episodes, 21);
+  EXPECT_EQ(config.sync_every, 3);
+  EXPECT_FALSE(config.deterministic);
+  EXPECT_EQ(config.replay_shards, 9);
+  EXPECT_EQ(config.shard_capacity, 512);
+  EXPECT_EQ(config.min_replay, 64);
+  EXPECT_EQ(config.updates_per_generation, 5);
+  EXPECT_EQ(config.target_sync_updates, 11);
+  EXPECT_EQ(config.checkpoint_every, 2);
+  EXPECT_EQ(config.checkpoint_dir, "/tmp/apex-test-ckpts");
+  EXPECT_EQ(config.resume_from, "/tmp/apex-test-ckpts/apex-000001.ckpt");
+  EXPECT_EQ(config.explore_seed_base, 31337u);
+  EXPECT_EQ(config.serve_shards, 2);
+  EXPECT_EQ(config.serve.max_batch, 12);
+
+  for (const char* name :
+       {"DPDP_TRAIN_ACTORS", "DPDP_TRAIN_EPISODES", "DPDP_TRAIN_SYNC_EVERY",
+        "DPDP_TRAIN_DETERMINISTIC", "DPDP_TRAIN_REPLAY_SHARDS",
+        "DPDP_TRAIN_SHARD_CAP", "DPDP_TRAIN_MIN_REPLAY",
+        "DPDP_TRAIN_UPDATES_PER_SYNC", "DPDP_TRAIN_TARGET_SYNC_UPDATES",
+        "DPDP_TRAIN_CHECKPOINT_EVERY", "DPDP_TRAIN_CHECKPOINT_DIR",
+        "DPDP_TRAIN_RESUME_FROM", "DPDP_TRAIN_SEED",
+        "DPDP_TRAIN_SERVE_SHARDS", "DPDP_SERVE_MAX_BATCH"}) {
+    unsetenv(name);
+  }
+}
+
+TEST(ApexConfigTest, CheckpointDirFallsBackToGenericKnob) {
+  setenv("DPDP_CHECKPOINT_DIR", "/tmp/generic-ckpts", 1);
+  EXPECT_EQ(ApexConfig::FromEnv().checkpoint_dir, "/tmp/generic-ckpts");
+  setenv("DPDP_TRAIN_CHECKPOINT_DIR", "/tmp/train-ckpts", 1);
+  EXPECT_EQ(ApexConfig::FromEnv().checkpoint_dir, "/tmp/train-ckpts");
+  unsetenv("DPDP_TRAIN_CHECKPOINT_DIR");
+  unsetenv("DPDP_CHECKPOINT_DIR");
+}
+
+}  // namespace
+}  // namespace dpdp::train
