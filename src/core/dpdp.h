@@ -27,6 +27,8 @@
 ///   sim/     the dispatching simulator (Algorithm 1)
 ///   baselines/ greedy dispatch heuristics (Baselines 1-3)
 ///   rl/      DQN/DDQN/AC/DGN/ST-DDGN agents (Algorithm 3)
+///   scenario/ config-driven scenario DSL (demand / travel / fleet /
+///            topology layers, pure functions of (config, seed))
 ///   exact/   branch-and-bound optimal PDP solver
 ///   serve/   online dispatch fabric (micro-batching, sharding, hot-swap,
 ///            shedding, deadlines, chaos + supervised failover)
@@ -41,6 +43,7 @@
 #include "datagen/order_gen.h"
 #include "exact/bnb_solver.h"
 #include "exp/harness.h"
+#include "exp/scenario_matrix.h"
 #include "model/instance.h"
 #include "model/instance_io.h"
 #include "model/order.h"
@@ -61,6 +64,7 @@
 #include "rl/trainer.h"
 #include "routing/local_search.h"
 #include "routing/route_planner.h"
+#include "scenario/scenario.h"
 #include "serve/chaos.h"
 #include "serve/circuit_breaker.h"
 #include "serve/dispatch_service.h"

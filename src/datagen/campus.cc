@@ -1,5 +1,6 @@
 #include "datagen/campus.h"
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -8,20 +9,21 @@
 
 namespace dpdp {
 
-std::shared_ptr<const RoadNetwork> GenerateCampus(const CampusConfig& config) {
-  DPDP_CHECK(config.num_factories > 0);
-  DPDP_CHECK(config.num_depots > 0);
-  DPDP_CHECK(config.num_clusters > 0);
-  DPDP_CHECK(config.extent_km > 0.0);
+namespace {
 
-  Rng rng(config.seed);
-
+/// Appends one campus's depot + factory nodes, drawing from `rng` and
+/// shifting all coordinates by (ox, oy). The draw sequence for a single
+/// campus at origin is EXACTLY the pre-scenario generator's — campus 0 of
+/// any multi-campus config shares it, and the default config reproduces
+/// the original network bit-for-bit.
+void AppendCampusNodes(const CampusConfig& config, int campus, double ox,
+                       double oy, Rng* rng, std::vector<NodeInfo>* nodes) {
   // Cluster centres spread over the campus square.
   std::vector<std::pair<double, double>> centres;
   centres.reserve(config.num_clusters);
   for (int c = 0; c < config.num_clusters; ++c) {
-    centres.emplace_back(rng.Uniform(0.15, 0.85) * config.extent_km,
-                         rng.Uniform(0.15, 0.85) * config.extent_km);
+    centres.emplace_back(rng->Uniform(0.15, 0.85) * config.extent_km,
+                         rng->Uniform(0.15, 0.85) * config.extent_km);
   }
   const double spread = config.extent_km / 10.0;
 
@@ -30,29 +32,61 @@ std::shared_ptr<const RoadNetwork> GenerateCampus(const CampusConfig& config) {
     if (v > config.extent_km) return config.extent_km;
     return v;
   };
+  const std::string prefix =
+      campus == 0 ? "" : "campus" + std::to_string(campus) + "_";
 
-  std::vector<NodeInfo> nodes;
-  nodes.reserve(config.num_depots + config.num_factories);
   // Depots sit near the campus perimeter (vehicles stage outside the dense
   // factory blocks).
-  for (int d = 0; d < config.num_depots; ++d) {
+  const int num_depots = config.num_depots + config.extra_depots;
+  for (int d = 0; d < num_depots; ++d) {
     NodeInfo n;
     n.kind = NodeKind::kDepot;
     const bool west = (d % 2 == 0);
-    n.x = clamp((west ? 0.05 : 0.95) * config.extent_km +
-                rng.Normal(0.0, spread / 2.0));
-    n.y = clamp(rng.Uniform(0.2, 0.8) * config.extent_km);
-    n.name = "depot_" + std::to_string(d);
-    nodes.push_back(n);
+    n.x = ox + clamp((west ? 0.05 : 0.95) * config.extent_km +
+                     rng->Normal(0.0, spread / 2.0));
+    n.y = oy + clamp(rng->Uniform(0.2, 0.8) * config.extent_km);
+    n.name = prefix + "depot_" + std::to_string(d);
+    nodes->push_back(n);
   }
   for (int f = 0; f < config.num_factories; ++f) {
     NodeInfo n;
     n.kind = NodeKind::kFactory;
     const auto& centre = centres[f % config.num_clusters];
-    n.x = clamp(centre.first + rng.Normal(0.0, spread));
-    n.y = clamp(centre.second + rng.Normal(0.0, spread));
-    n.name = "factory_" + std::to_string(f);
-    nodes.push_back(n);
+    n.x = ox + clamp(centre.first + rng->Normal(0.0, spread));
+    n.y = oy + clamp(centre.second + rng->Normal(0.0, spread));
+    n.name = prefix + "factory_" + std::to_string(f);
+    nodes->push_back(n);
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const RoadNetwork> GenerateCampus(const CampusConfig& config) {
+  DPDP_CHECK(config.num_factories > 0);
+  DPDP_CHECK(config.num_depots > 0);
+  DPDP_CHECK(config.num_clusters > 0);
+  DPDP_CHECK(config.extent_km > 0.0);
+  DPDP_CHECK(config.num_campuses > 0);
+  DPDP_CHECK(config.extra_depots >= 0);
+  DPDP_CHECK(config.campus_spacing_km > 0.0);
+
+  std::vector<NodeInfo> nodes;
+  nodes.reserve(static_cast<size_t>(config.num_campuses) *
+                (config.num_depots + config.extra_depots +
+                 config.num_factories));
+  // Campuses sit on a square grid, `campus_spacing_km` between origins.
+  const int grid = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(config.num_campuses))));
+  for (int campus = 0; campus < config.num_campuses; ++campus) {
+    // Campus 0 uses the base seed directly (the original stream); campus
+    // c > 0 uses the named sub-stream DeriveSeed(seed, c).
+    Rng rng(campus == 0
+                ? config.seed
+                : Rng::DeriveSeed(config.seed,
+                                  static_cast<uint64_t>(campus)));
+    const double ox = (campus % grid) * config.campus_spacing_km;
+    const double oy = (campus / grid) * config.campus_spacing_km;
+    AppendCampusNodes(config, campus, ox, oy, &rng, &nodes);
   }
 
   return std::make_shared<RoadNetwork>(

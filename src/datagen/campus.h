@@ -22,10 +22,23 @@ struct CampusConfig {
   /// Road distances are Euclidean distances scaled by this circuity factor.
   double road_factor = 1.3;
   uint64_t seed = 7;
+
+  /// Scenario topology layer. `num_campuses` copies of the campus are
+  /// placed on a square grid with `campus_spacing_km` between origins;
+  /// campus 0 always draws the exact pre-scenario node stream (so the
+  /// default single-campus config is bit-identical to the original
+  /// network) while campus c > 0 draws from DeriveSeed(seed, c).
+  /// `extra_depots` adds that many depots to every campus.
+  int num_campuses = 1;
+  double campus_spacing_km = 20.0;
+  int extra_depots = 0;
 };
 
-/// Generates a reproducible campus road network. Depots come first in node
-/// id order, then factories (factory ordinal i = node id num_depots + i).
+/// Generates a reproducible campus road network. Within each campus the
+/// depots come first in node id order, then the factories; with a single
+/// campus (the default) factory ordinal i is node id num_depots + i.
+/// Factory ordinals stay dense across campuses (RoadNetwork scans by
+/// NodeKind), so demand models work unchanged on multi-campus worlds.
 std::shared_ptr<const RoadNetwork> GenerateCampus(const CampusConfig& config);
 
 }  // namespace dpdp

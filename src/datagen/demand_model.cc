@@ -23,17 +23,25 @@ DemandModel::DemandModel(const RoadNetwork& network, int num_intervals,
   DPDP_CHECK(num_intervals > 0);
   const int n = network.num_factories();
   DPDP_CHECK(n > 0);
-  Rng rng(seed);
+  // Each parameter family draws from its own named sub-stream (the same
+  // per-kind pattern as sim/disruption): adding a family — or a scenario
+  // layer consuming demand randomness — can never shift the draws of the
+  // existing ones.
+  const Rng base(seed);
+  Rng weight_rng = base.Fork(0);
+  Rng jitter_rng = base.Fork(1);
+  Rng persistence_rng = base.Fork(2);
+  Rng day_seed_rng = base.Fork(3);
   weights_.resize(n);
   phase_jitter_.resize(n);
   ar_coeff_.resize(n);
   day_seed_.resize(n);
   for (int i = 0; i < n; ++i) {
     // Lognormal spatial skew: a handful of factories dominate (Fig. 2).
-    weights_[i] = std::exp(rng.Normal(0.0, 0.9));
-    phase_jitter_[i] = rng.Normal(0.0, 25.0);  // Peak shift in minutes.
-    ar_coeff_[i] = rng.Uniform(0.85, 0.96);    // Day-to-day persistence.
-    day_seed_[i] = rng.NextU64();
+    weights_[i] = std::exp(weight_rng.Normal(0.0, 0.9));
+    phase_jitter_[i] = jitter_rng.Normal(0.0, 25.0);  // Peak shift, minutes.
+    ar_coeff_[i] = persistence_rng.Uniform(0.85, 0.96);  // Day persistence.
+    day_seed_[i] = day_seed_rng.NextU64();
   }
 }
 

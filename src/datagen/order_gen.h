@@ -7,6 +7,7 @@
 #include "datagen/demand_model.h"
 #include "model/order.h"
 #include "net/road_network.h"
+#include "scenario/scenario.h"
 
 namespace dpdp {
 
@@ -35,12 +36,31 @@ struct OrderGenConfig {
   /// factory weight; larger values localize flows and create hitchhiking
   /// structure).
   double distance_decay_km = 4.0;
+
+  /// Scenario demand layer (scenario/scenario.h). Layers are ADDITIVE:
+  /// the baseline stream is always generated bit-identically from its own
+  /// sub-streams; surges / rate_scale > 1 contribute extra orders from the
+  /// surge sub-stream, rate_scale < 1 thins via the thinning sub-stream,
+  /// bursts come from the burst sub-stream. The inactive default
+  /// reproduces the pure baseline.
+  scenario::DemandLayer demand;
+  /// Scenario seed, mixed into the LAYER sub-streams only (never the
+  /// baseline's), so distinct scenarios draw distinct extra orders while
+  /// sharing the same baseline day.
+  uint64_t scenario_seed = 0;
 };
 
 /// Generates the delivery orders of day `day`. Counts per (factory,
 /// interval) cell are Poisson with mean proportional to the demand model's
 /// rate; creation times are uniform inside the cell's interval. Orders are
 /// returned canonicalized (sorted by creation time, dense ids).
+///
+/// Randomness is organized as named sub-streams of DeriveSeed(seed, day)
+/// (tags in scenario::StreamTag, mirroring sim/disruption's per-kind
+/// pattern): baseline counts, baseline attributes, thinning, surges and
+/// bursts each draw from their own stream, so enabling any scenario layer
+/// cannot shift a draw of any other layer — in particular the baseline
+/// order set is invariant under every surge/burst configuration.
 std::vector<Order> GenerateDayOrders(const RoadNetwork& network,
                                      const DemandModel& demand,
                                      const OrderGenConfig& config, int day,

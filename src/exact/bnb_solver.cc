@@ -48,6 +48,10 @@ BranchAndBoundSolver::BranchAndBoundSolver(const Instance* instance,
   DPDP_CHECK(instance_ != nullptr);
   DPDP_CHECK_OK(ValidateInstance(*instance_));
   DPDP_CHECK(instance_->num_orders() <= 30);  // Bitmask width.
+  // The bound and cost bookkeeping assume one shared VehicleConfig; reject
+  // heterogeneous-fleet scenario instances rather than mis-price them.
+  DPDP_CHECK(instance_->vehicle_profiles.empty());
+  DPDP_CHECK(instance_->node_service_surcharge_min.empty());
   const RoadNetwork& net = *instance_->network;
   min_in_.assign(net.num_nodes(), 0.0);
   for (int j = 0; j < net.num_nodes(); ++j) {

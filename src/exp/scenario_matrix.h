@@ -1,0 +1,93 @@
+#ifndef DPDP_EXP_SCENARIO_MATRIX_H_
+#define DPDP_EXP_SCENARIO_MATRIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "model/instance.h"
+#include "scenario/scenario.h"
+#include "sim/environment.h"
+#include "util/thread_pool.h"
+
+namespace dpdp {
+
+/// The method x scenario sweep: every method of `methods` evaluated on
+/// every world of `scenarios`, producing one comparison table. Methods are
+/// the paper's baselines by shorthand ("B1" min incremental length, "B2"
+/// min total length, "B3" max accepted orders) or any DRL method name
+/// MakeAgentByName accepts ("DQN", "AC", "ST-DDGN", ...).
+struct ScenarioMatrixConfig {
+  std::vector<scenario::Scenario> scenarios;
+  std::vector<std::string> methods;
+  uint64_t seed = 2021;  ///< Base seed; per-cell seeds are forked from it.
+  double mean_orders_per_day = 90.0;
+  int num_orders = 12;    ///< Orders per sampled instance.
+  int num_vehicles = 4;
+  int day_lo = 0;
+  int day_hi = 2;
+  int episodes = 4;       ///< DRL training episodes per cell.
+};
+
+/// One cell of the matrix: `method` evaluated on `scenario`'s world.
+struct ScenarioCell {
+  std::string scenario;
+  std::string method;
+  int num_orders = 0;
+  int num_served = 0;
+  double service_rate = 0.0;  ///< num_served / num_orders.
+  double nuv = 0.0;
+  double total_cost = 0.0;
+  /// Episode reward under the paper's objective (minimize TC): -TC.
+  double reward = 0.0;
+  int decisions = 0;
+  int degraded = 0;    ///< Greedy-fallback decisions (degradation counter).
+  int breakdowns = 0;
+  int replanned = 0;
+  int cancelled = 0;
+  double wall_seconds = 0.0;  ///< The only field that varies run to run.
+};
+
+struct ScenarioMatrixResult {
+  /// Scenario-major: cells[s * num_methods + m].
+  std::vector<ScenarioCell> cells;
+  int num_scenarios = 0;
+  int num_methods = 0;
+
+  const ScenarioCell& cell(int s, int m) const {
+    return cells[static_cast<size_t>(s) * num_methods + m];
+  }
+
+  /// Human-readable fixed-width comparison table.
+  std::string FormatTable() const;
+  /// Machine-readable CSV (header + one row per cell).
+  std::string ToCsv() const;
+};
+
+/// A scenario's fully-built world: the dataset carrying the demand and
+/// topology layers, the sampled instance with fleet profiles and docking
+/// surcharges applied, and the simulator config carrying the travel wave.
+/// Pure function of (scenario, matrix config) — bitwise reproducible.
+struct ScenarioWorld {
+  std::shared_ptr<DpdpDataset> dataset;  ///< Owns the road network.
+  Instance instance;
+  SimulatorConfig sim_config;
+};
+
+ScenarioWorld BuildScenarioWorld(const scenario::Scenario& sc,
+                                 const ScenarioMatrixConfig& config);
+
+/// Runs the full matrix, cells in parallel on `pool` (the global pool when
+/// null). Cell (s, m) uses seed DeriveSeed(DeriveSeed(seed, s), m) and
+/// writes only its own slot, so every field except wall_seconds is
+/// bit-identical for every worker count. Emits scenario.* metrics:
+/// scenario.worlds, scenario.cells, scenario.decisions,
+/// scenario.degraded_decisions, scenario.orders_served.
+ScenarioMatrixResult RunScenarioMatrix(const ScenarioMatrixConfig& config,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace dpdp
+
+#endif  // DPDP_EXP_SCENARIO_MATRIX_H_

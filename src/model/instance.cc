@@ -1,5 +1,7 @@
 #include "model/instance.h"
 
+#include <algorithm>
+
 namespace dpdp {
 
 Status ValidateInstance(const Instance& instance) {
@@ -19,7 +21,13 @@ Status ValidateInstance(const Instance& instance) {
     }
     prev_create = o.create_time_min;
     DPDP_RETURN_IF_ERROR(ValidateOrder(o, num_nodes));
-    if (o.quantity > instance.vehicle_config.capacity) {
+    // With a heterogeneous fleet an order only needs SOME vehicle able to
+    // carry it; with a homogeneous fleet that is the shared config.
+    double max_capacity = instance.vehicle_config.capacity;
+    for (const VehicleConfig& profile : instance.vehicle_profiles) {
+      max_capacity = std::max(max_capacity, profile.capacity);
+    }
+    if (o.quantity > max_capacity) {
       return Status::Infeasible("order exceeds vehicle capacity: " +
                                 o.DebugString());
     }
@@ -39,6 +47,31 @@ Status ValidateInstance(const Instance& instance) {
   if (cfg.capacity <= 0.0 || cfg.fixed_cost < 0.0 || cfg.cost_per_km < 0.0 ||
       cfg.speed_kmph <= 0.0 || cfg.service_time_min < 0.0) {
     return Status::InvalidArgument("invalid vehicle config");
+  }
+  if (!instance.vehicle_profiles.empty()) {
+    if (static_cast<int>(instance.vehicle_profiles.size()) !=
+        instance.num_vehicles()) {
+      return Status::InvalidArgument(
+          "vehicle_profiles must be empty or one per vehicle");
+    }
+    for (const VehicleConfig& p : instance.vehicle_profiles) {
+      if (p.capacity <= 0.0 || p.fixed_cost < 0.0 || p.cost_per_km < 0.0 ||
+          p.speed_kmph <= 0.0 || p.service_time_min < 0.0) {
+        return Status::InvalidArgument("invalid vehicle profile");
+      }
+    }
+  }
+  if (!instance.node_service_surcharge_min.empty()) {
+    if (static_cast<int>(instance.node_service_surcharge_min.size()) !=
+        num_nodes) {
+      return Status::InvalidArgument(
+          "node_service_surcharge_min must be empty or one per node");
+    }
+    for (double s : instance.node_service_surcharge_min) {
+      if (s < 0.0) {
+        return Status::InvalidArgument("negative service surcharge");
+      }
+    }
   }
   if (instance.num_time_intervals <= 0 || instance.horizon_minutes <= 0.0) {
     return Status::InvalidArgument("invalid time discretization");

@@ -22,11 +22,38 @@ struct Instance {
   std::vector<Order> orders;          ///< Canonicalized (see order.h).
   VehicleConfig vehicle_config;
   std::vector<int> vehicle_depots;    ///< Starting depot per vehicle; size K.
+  /// Heterogeneous fleet (scenario fleet layer). Empty — the default —
+  /// means every vehicle uses `vehicle_config` and every code path stays
+  /// bit-for-bit what it was before scenarios existed. Non-empty must be
+  /// size K: vehicle v uses vehicle_profiles[v].
+  std::vector<VehicleConfig> vehicle_profiles;
+  /// Per-node extra service minutes (scenario topology layer: docking-
+  /// constrained stations where a vehicle must wait for a dock). Empty —
+  /// the default — means no surcharge anywhere; non-empty must be sized to
+  /// the network's node count.
+  std::vector<double> node_service_surcharge_min;
   int num_time_intervals = kDefaultNumIntervals;
   double horizon_minutes = kMinutesPerDay;
 
   int num_vehicles() const { return static_cast<int>(vehicle_depots.size()); }
   int num_orders() const { return static_cast<int>(orders.size()); }
+
+  /// The config governing vehicle v: its profile when the fleet is
+  /// heterogeneous, the shared `vehicle_config` otherwise.
+  const VehicleConfig& vehicle_config_of(int v) const {
+    if (vehicle_profiles.empty()) return vehicle_config;
+    DPDP_CHECK(v >= 0 && v < static_cast<int>(vehicle_profiles.size()));
+    return vehicle_profiles[v];
+  }
+
+  /// Extra service minutes charged at `node` (0 when the topology layer is
+  /// off). Kept branch-light: one emptiness test on the hot path.
+  double service_surcharge_at(int node) const {
+    if (node_service_surcharge_min.empty()) return 0.0;
+    DPDP_CHECK(node >= 0 &&
+               node < static_cast<int>(node_service_surcharge_min.size()));
+    return node_service_surcharge_min[node];
+  }
 
   const Order& order(int id) const {
     DPDP_CHECK(id >= 0 && id < num_orders());

@@ -34,7 +34,9 @@ nn::Matrix FleetState::FeasibleFeatures() const {
 double InstantReward(const DispatchContext& context, int chosen,
                      const AgentConfig& config) {
   const VehicleOption& opt = context.options[chosen];
-  const VehicleConfig& cfg = context.instance->vehicle_config;
+  // The chosen vehicle's own profile under a heterogeneous fleet; the
+  // shared config (the original behaviour) otherwise.
+  const VehicleConfig& cfg = context.instance->vehicle_config_of(chosen);
   // Eq. (6). The paper's text charges mu * f; the evident intent (and the
   // default here) charges the fixed cost when a *fresh* vehicle is used.
   const double fixed_flag = config.literal_used_flag_cost

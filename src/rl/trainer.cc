@@ -27,9 +27,10 @@ std::string TrainOptions::resolved_metrics_path() const {
 
 TrainOptions TrainOptions::FromEnv() {
   TrainOptions options;
-  options.episodes = EnvInt("DPDP_TRAIN_EPISODES", options.episodes);
-  options.checkpoint_every =
-      EnvInt("DPDP_TRAIN_CHECKPOINT_EVERY", options.checkpoint_every);
+  options.episodes =
+      EnvIntStrict("DPDP_TRAIN_EPISODES", options.episodes, 1, 1000000);
+  options.checkpoint_every = EnvIntStrict(
+      "DPDP_TRAIN_CHECKPOINT_EVERY", options.checkpoint_every, 0, 1000000);
   options.checkpoint_dir = EnvStr("DPDP_TRAIN_CHECKPOINT_DIR", "");
   options.resume_from = EnvStr("DPDP_TRAIN_RESUME_FROM", "");
   options.metrics_path = EnvStr("DPDP_TRAIN_METRICS", "");

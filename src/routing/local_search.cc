@@ -7,10 +7,11 @@ namespace dpdp {
 LocalSearchResult ImproveSuffixByReinsertion(const RoutePlanner& planner,
                                              const PlanAnchor& anchor,
                                              std::vector<Stop> suffix,
-                                             int depot_node, int max_passes) {
+                                             int depot_node, int max_passes,
+                                             const VehicleConfig* vehicle) {
   LocalSearchResult out;
   Result<SuffixSchedule> initial =
-      planner.CheckSuffix(anchor, suffix, depot_node);
+      planner.CheckSuffix(anchor, suffix, depot_node, vehicle);
   DPDP_CHECK_OK(initial.status());
   out.initial_length = initial.value().length;
   out.schedule = std::move(initial).value();
@@ -40,7 +41,7 @@ LocalSearchResult ImproveSuffixByReinsertion(const RoutePlanner& planner,
 
       // ...and re-insert it at its best feasible position.
       Result<Insertion> best = planner.BestInsertion(
-          anchor, without, depot_node, planner.order(order_id));
+          anchor, without, depot_node, planner.order(order_id), vehicle);
       if (!best.ok()) continue;  // Removal broke feasibility elsewhere.
       if (best.value().schedule.length < current_length - 1e-9) {
         current_length = best.value().schedule.length;

@@ -34,11 +34,15 @@ struct LocalSearchResult {
 /// of the DPDP literature (Mitrovic-Minic & Laporte 2004); the simulator
 /// applies it per decision when SimulatorConfig::local_search_passes > 0,
 /// and the `supp_local_search` bench quantifies the effect.
+/// `vehicle` forwards to the planner's per-call config override (the
+/// heterogeneous-fleet hook); nullptr keeps the planner's own config.
 LocalSearchResult ImproveSuffixByReinsertion(const RoutePlanner& planner,
                                              const PlanAnchor& anchor,
                                              std::vector<Stop> suffix,
                                              int depot_node,
-                                             int max_passes = 5);
+                                             int max_passes = 5,
+                                             const VehicleConfig* vehicle =
+                                                 nullptr);
 
 }  // namespace dpdp
 

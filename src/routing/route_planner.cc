@@ -16,7 +16,9 @@ RoutePlanner::RoutePlanner(const RoadNetwork* network,
 
 RoutePlanner::RoutePlanner(const Instance* instance)
     : RoutePlanner(instance->network.get(), &instance->vehicle_config,
-                   &instance->orders) {}
+                   &instance->orders) {
+  node_surcharge_ = &instance->node_service_surcharge_min;
+}
 
 const Order& RoutePlanner::LookupOrder(int id) const {
   DPDP_CHECK(id >= 0 && id < static_cast<int>(orders_->size()));
@@ -25,7 +27,10 @@ const Order& RoutePlanner::LookupOrder(int id) const {
 
 Result<SuffixSchedule> RoutePlanner::CheckSuffix(
     const PlanAnchor& anchor, const std::vector<Stop>& suffix,
-    int depot_node) const {
+    int depot_node, const VehicleConfig* vehicle) const {
+  const VehicleConfig& cfg = vehicle != nullptr ? *vehicle : *config_;
+  const bool surcharged =
+      node_surcharge_ != nullptr && !node_surcharge_->empty();
   SuffixSchedule out;
   out.stops.reserve(suffix.size());
   out.residual_capacity.reserve(suffix.size());
@@ -33,7 +38,7 @@ Result<SuffixSchedule> RoutePlanner::CheckSuffix(
   std::vector<int> stack = anchor.onboard;
   double load = 0.0;
   for (int id : stack) load += LookupOrder(id).quantity;
-  if (load > config_->capacity) {
+  if (load > cfg.capacity) {
     return Status::Infeasible("anchor load already exceeds capacity");
   }
 
@@ -45,9 +50,8 @@ Result<SuffixSchedule> RoutePlanner::CheckSuffix(
     const Order& order = LookupOrder(stop.order_id);
     length += network_->Distance(node, stop.node);
     const double arrival =
-        now + network_->TravelTimeMinutes(node, stop.node,
-                                          config_->speed_kmph);
-    out.residual_capacity.push_back(config_->capacity - load);
+        now + network_->TravelTimeMinutes(node, stop.node, cfg.speed_kmph);
+    out.residual_capacity.push_back(cfg.capacity - load);
 
     double service_start = arrival;
     if (stop.type == StopType::kPickup) {
@@ -55,7 +59,7 @@ Result<SuffixSchedule> RoutePlanner::CheckSuffix(
       // Pickups may wait for the order's creation (earliest service time).
       service_start = std::max(arrival, order.create_time_min);
       load += order.quantity;
-      if (load > config_->capacity + 1e-9) {
+      if (load > cfg.capacity + 1e-9) {
         return Status::Infeasible("capacity exceeded at pickup of " +
                                   order.DebugString());
       }
@@ -73,7 +77,9 @@ Result<SuffixSchedule> RoutePlanner::CheckSuffix(
       load -= order.quantity;
     }
 
-    const double departure = service_start + config_->service_time_min;
+    double service_min = cfg.service_time_min;
+    if (surcharged) service_min += (*node_surcharge_)[stop.node];
+    const double departure = service_start + service_min;
     out.stops.push_back({arrival, service_start, departure});
     node = stop.node;
     now = departure;
@@ -86,8 +92,7 @@ Result<SuffixSchedule> RoutePlanner::CheckSuffix(
   length += network_->Distance(node, depot_node);
   out.length = length;
   out.completion_time =
-      now + network_->TravelTimeMinutes(node, depot_node,
-                                        config_->speed_kmph);
+      now + network_->TravelTimeMinutes(node, depot_node, cfg.speed_kmph);
   return out;
 }
 
@@ -105,7 +110,7 @@ double RoutePlanner::SuffixLength(const PlanAnchor& anchor,
 
 Result<Insertion> RoutePlanner::BestInsertion(
     const PlanAnchor& anchor, const std::vector<Stop>& old_suffix,
-    int depot_node, const Order& order) const {
+    int depot_node, const Order& order, const VehicleConfig* vehicle) const {
   const int n = static_cast<int>(old_suffix.size());
   const double old_length = SuffixLength(anchor, old_suffix, depot_node);
 
@@ -136,7 +141,7 @@ Result<Insertion> RoutePlanner::BestInsertion(
       ++last_candidates_;
 
       Result<SuffixSchedule> checked =
-          CheckSuffix(anchor, candidate, depot_node);
+          CheckSuffix(anchor, candidate, depot_node, vehicle);
       if (!checked.ok()) continue;
       if (checked.value().length < best_length) {
         best_length = checked.value().length;

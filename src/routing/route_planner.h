@@ -64,9 +64,16 @@ class RoutePlanner {
   /// (load never exceeds Q), and time windows (pickups wait for order
   /// creation; deliveries must begin no later than the order's latest
   /// time). Returns the schedule on success, Status::Infeasible otherwise.
+  ///
+  /// `vehicle` overrides the constructor's config for this call — the
+  /// heterogeneous-fleet hook: one planner serves a mixed fleet by passing
+  /// each vehicle's own profile. nullptr (the default) keeps the
+  /// constructor config, which is the pre-scenario behaviour exactly.
   Result<SuffixSchedule> CheckSuffix(const PlanAnchor& anchor,
                                      const std::vector<Stop>& suffix,
-                                     int depot_node) const;
+                                     int depot_node,
+                                     const VehicleConfig* vehicle =
+                                         nullptr) const;
 
   /// Pure travel length of a suffix (anchor -> stops... -> depot), ignoring
   /// feasibility. Used for the "current route length" state feature.
@@ -78,7 +85,9 @@ class RoutePlanner {
   /// shortest resulting suffix. Status::Infeasible when no placement works.
   Result<Insertion> BestInsertion(const PlanAnchor& anchor,
                                   const std::vector<Stop>& old_suffix,
-                                  int depot_node, const Order& order) const;
+                                  int depot_node, const Order& order,
+                                  const VehicleConfig* vehicle =
+                                      nullptr) const;
 
   /// Number of candidate suffixes evaluated by the last BestInsertion call
   /// (for the constraint-embedding micro-benchmarks).
@@ -94,6 +103,10 @@ class RoutePlanner {
   const RoadNetwork* network_;
   const VehicleConfig* config_;
   const std::vector<Order>* orders_;
+  /// Per-node docking surcharge (scenario topology layer); nullptr or
+  /// empty means none. Borrowed from the instance when constructed from
+  /// one; the bare ctor has no surcharge.
+  const std::vector<double>* node_surcharge_ = nullptr;
   mutable int last_candidates_ = 0;
 };
 

@@ -107,15 +107,16 @@ void RecordRouteHop(DecisionRequest* request, int64_t route_start) {
 
 ServeConfig ServeConfigFromEnv() {
   ServeConfig config;
-  config.max_batch = EnvInt("DPDP_SERVE_MAX_BATCH", config.max_batch);
-  config.max_wait_us = EnvInt("DPDP_SERVE_MAX_WAIT_US",
-                              static_cast<int>(config.max_wait_us));
-  config.queue_capacity =
-      EnvInt("DPDP_SERVE_QUEUE_CAP", config.queue_capacity);
+  config.max_batch =
+      EnvIntStrict("DPDP_SERVE_MAX_BATCH", config.max_batch, 1, 65536);
+  config.max_wait_us = EnvInt64Strict("DPDP_SERVE_MAX_WAIT_US",
+                                      config.max_wait_us, 0, 60000000);
+  config.queue_capacity = EnvIntStrict("DPDP_SERVE_QUEUE_CAP",
+                                       config.queue_capacity, 1, 100000000);
   config.commit_us =
-      EnvInt("DPDP_SERVE_COMMIT_US", static_cast<int>(config.commit_us));
-  config.deadline_us =
-      EnvInt("DPDP_SERVE_DEADLINE_US", static_cast<int>(config.deadline_us));
+      EnvInt64Strict("DPDP_SERVE_COMMIT_US", config.commit_us, 0, 60000000);
+  config.deadline_us = EnvInt64Strict("DPDP_SERVE_DEADLINE_US",
+                                      config.deadline_us, 0, 600000000);
   config.chaos = ChaosConfigFromEnv();
   return config;
 }

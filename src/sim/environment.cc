@@ -68,6 +68,9 @@ void Environment::Reset() {
   for (int v = 0; v < instance_->num_vehicles(); ++v) {
     vehicles_.emplace_back(v, instance_->vehicle_depots[v], instance_,
                            config_.record_visits);
+    if (config_.travel.active()) {
+      vehicles_.back().SetTravelWave(&config_.travel);
+    }
   }
 
   result_ = EpisodeResult{};
@@ -122,8 +125,8 @@ DispatchContext Environment::BuildContext(const Order& order,
     }
     const PlanAnchor anchor = vehicle.MakeAnchor();
     const std::vector<Stop> suffix = vehicle.FreeSuffix();
-    Result<Insertion> insertion =
-        planner_.BestInsertion(anchor, suffix, vehicle.depot(), order);
+    Result<Insertion> insertion = planner_.BestInsertion(
+        anchor, suffix, vehicle.depot(), order, &vehicle.config());
     if (!insertion.ok()) {
       // Constraint embedding: the vehicle is excluded from inference and
       // its state entries take the paper's sentinel value -1.
@@ -223,7 +226,8 @@ int Environment::Apply(int vehicle, double decision_seconds) {
   if (config_.local_search_passes > 0) {
     LocalSearchResult improved = ImproveSuffixByReinsertion(
         planner_, vehicles_[chosen].MakeAnchor(), std::move(new_suffix),
-        vehicles_[chosen].depot(), config_.local_search_passes);
+        vehicles_[chosen].depot(), config_.local_search_passes,
+        &vehicles_[chosen].config());
     result_.local_search_km_saved += improved.improvement();
     new_suffix = std::move(improved.suffix);
   }
@@ -244,17 +248,28 @@ void Environment::Finish() {
   // (e.g. a breakdown that forces a late re-plan).
   ProcessDisruptionsUntil(std::numeric_limits<double>::infinity(), &result_);
 
+  double hetero_cost = 0.0;
   for (VehicleState& vehicle : vehicles_) {
     const double length = vehicle.FinishRoute();
     if (vehicle.used()) {
       result_.nuv += 1.0;
       result_.total_travel_length += length;
+      hetero_cost += vehicle.config().fixed_cost +
+                     vehicle.config().cost_per_km * length;
     }
     if (config_.record_plan) result_.routes.push_back(vehicle.stops());
   }
-  const VehicleConfig& cfg = instance_->vehicle_config;
-  result_.total_cost = cfg.fixed_cost * result_.nuv +
-                       cfg.cost_per_km * result_.total_travel_length;
+  if (instance_->vehicle_profiles.empty()) {
+    // Homogeneous fleet: keep the original aggregate formula exactly — the
+    // per-vehicle accumulation above is mathematically equal but not
+    // bit-identical (floating-point association), and the determinism
+    // goldens pin this value.
+    const VehicleConfig& cfg = instance_->vehicle_config;
+    result_.total_cost = cfg.fixed_cost * result_.nuv +
+                         cfg.cost_per_km * result_.total_travel_length;
+  } else {
+    result_.total_cost = hetero_cost;
+  }
   result_.mean_response_min =
       result_.num_orders > 0
           ? response_sum_ / static_cast<double>(result_.num_orders)
@@ -334,7 +349,7 @@ void Environment::ApplyBreakdown(const DisruptionEvent& event,
       if (candidate.hold_until() > event.time + 1e-9) continue;
       Result<Insertion> insertion = planner_.BestInsertion(
           candidate.MakeAnchor(), candidate.FreeSuffix(), candidate.depot(),
-          order);
+          order, &candidate.config());
       if (!insertion.ok()) continue;
       if (insertion.value().incremental_length < best_incremental) {
         best_incremental = insertion.value().incremental_length;

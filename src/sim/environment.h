@@ -7,6 +7,7 @@
 #include "model/instance.h"
 #include "nn/matrix.h"
 #include "routing/route_planner.h"
+#include "scenario/scenario.h"
 #include "sim/dispatcher.h"
 #include "sim/vehicle_state.h"
 #include "stpred/divergence.h"
@@ -44,6 +45,13 @@ struct SimulatorConfig {
   /// and the greedy-insertion fallback dispatches instead. Off by default
   /// because wall-clock thresholds break run-to-run determinism.
   double decision_time_budget_s = 0.0;
+  /// Scenario travel layer (scenario/scenario.h): a deterministic
+  /// time-of-day travel-time multiplier applied at each leg's departure on
+  /// the vehicle clock, composing multiplicatively with the disruption
+  /// inflation events above. Inactive by default — the layer consumes no
+  /// randomness, so the disruption sub-streams are never perturbed and the
+  /// default config is bit-identical to the pre-scenario simulator.
+  scenario::TravelLayer travel;
 };
 
 /// The stepwise form of the dispatching simulation (Algorithm 1): one

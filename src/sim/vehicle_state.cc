@@ -10,6 +10,7 @@ VehicleState::VehicleState(int id, int depot_node, const Instance* instance,
       depot_(depot_node),
       instance_(instance),
       net_(instance->network.get()),
+      config_(&instance->vehicle_config_of(id)),
       idle_node_(depot_node),
       record_visits_(record_visits) {
   DPDP_CHECK(instance_ != nullptr);
@@ -20,10 +21,11 @@ const Order& VehicleState::LookupOrder(int id) const {
   return instance_->order(id);
 }
 
-double VehicleState::TravelMinutes(int from, int to) const {
-  return travel_time_scale_ *
-         net_->TravelTimeMinutes(from, to,
-                                 instance_->vehicle_config.speed_kmph);
+double VehicleState::TravelMinutes(int from, int to,
+                                   double depart_time) const {
+  double scale = travel_time_scale_;
+  if (wave_ != nullptr) scale *= wave_->ScaleAt(depart_time);
+  return scale * net_->TravelTimeMinutes(from, to, config_->speed_kmph);
 }
 
 void VehicleState::Depart(double depart_time) {
@@ -35,7 +37,8 @@ void VehicleState::Depart(double depart_time) {
                                             : stops_[next_idx_ - 1].node;
   from_node_ = from;
   depart_time_ = depart_time;
-  arrive_time_ = depart_time + TravelMinutes(from, stops_[next_idx_].node);
+  arrive_time_ =
+      depart_time + TravelMinutes(from, stops_[next_idx_].node, depart_time);
   committed_length_ += net_->Distance(from, stops_[next_idx_].node);
   phase_ = Phase::kDriving;
 }
@@ -49,7 +52,8 @@ double VehicleState::PredictedServiceEnd() const {
     service_start =
         std::max(service_start, LookupOrder(stop.order_id).create_time_min);
   }
-  return service_start + instance_->vehicle_config.service_time_min;
+  return service_start + config_->service_time_min +
+         instance_->service_surcharge_at(stop.node);
 }
 
 void VehicleState::AdvanceTo(double now) {
@@ -60,14 +64,15 @@ void VehicleState::AdvanceTo(double now) {
       const Stop& stop = stops_[next_idx_];
       if (record_visits_) {
         visits_.push_back({stop.node, arrive_time_,
-                           instance_->vehicle_config.capacity - load_});
+                           config_->capacity - load_});
       }
       double service_start = arrive_time_;
       if (stop.type == StopType::kPickup) {
         service_start = std::max(service_start,
                                  LookupOrder(stop.order_id).create_time_min);
       }
-      service_end_ = service_start + instance_->vehicle_config.service_time_min;
+      service_end_ = service_start + config_->service_time_min +
+                     instance_->service_surcharge_at(stop.node);
       phase_ = Phase::kServing;
       continue;
     }
@@ -78,7 +83,7 @@ void VehicleState::AdvanceTo(double now) {
       if (stop.type == StopType::kPickup) {
         onboard_.push_back(stop.order_id);
         load_ += order.quantity;
-        DPDP_CHECK(load_ <= instance_->vehicle_config.capacity + 1e-6);
+        DPDP_CHECK(load_ <= config_->capacity + 1e-6);
       } else {
         DPDP_CHECK(!onboard_.empty() && onboard_.back() == stop.order_id);
         onboard_.pop_back();
@@ -181,7 +186,7 @@ double VehicleState::FinishRoute() {
   if (!used_) return 0.0;
   // Final back-to-depot leg.
   committed_length_ += net_->Distance(idle_node_, depot_);
-  clock_ += TravelMinutes(idle_node_, depot_);
+  clock_ += TravelMinutes(idle_node_, depot_, clock_);
   idle_node_ = depot_;
   return committed_length_;
 }

@@ -10,6 +10,7 @@
 #include "model/vehicle.h"
 #include "net/road_network.h"
 #include "routing/route_planner.h"
+#include "scenario/scenario.h"
 
 namespace dpdp {
 
@@ -99,11 +100,22 @@ class VehicleState {
   }
   double travel_time_scale() const { return travel_time_scale_; }
 
+  /// Scenario travel layer: a deterministic time-of-day multiplier sampled
+  /// at each leg's departure time, composed multiplicatively with the
+  /// disruption scale above. The layer consumes no randomness, so it can
+  /// never perturb the disruption sub-streams. nullptr (default) = off.
+  /// The pointed-to layer must outlive this vehicle.
+  void SetTravelWave(const scenario::TravelLayer* wave) { wave_ = wave; }
+
+  /// The config governing this vehicle (its profile under a heterogeneous
+  /// fleet, the instance's shared config otherwise).
+  const VehicleConfig& config() const { return *config_; }
+
  private:
   enum class Phase { kIdle, kDriving, kServing };
 
   const Order& LookupOrder(int id) const;
-  double TravelMinutes(int from, int to) const;
+  double TravelMinutes(int from, int to, double depart_time) const;
   /// Starts driving toward stops_[next_idx_] at `depart_time`.
   void Depart(double depart_time);
   /// Predicted completion time of service at the stop being driven
@@ -114,6 +126,8 @@ class VehicleState {
   int depot_;
   const Instance* instance_;
   const RoadNetwork* net_;
+  const VehicleConfig* config_;  ///< instance_->vehicle_config_of(id_).
+  const scenario::TravelLayer* wave_ = nullptr;
 
   std::vector<Stop> stops_;
   size_t next_idx_ = 0;  ///< Stop being driven to / served; == size if none.

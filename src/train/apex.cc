@@ -45,30 +45,37 @@ std::string CheckpointPath(const std::string& dir, uint64_t seq) {
 
 ApexConfig ApexConfig::FromEnv() {
   ApexConfig config;
-  config.num_actors = EnvInt("DPDP_TRAIN_ACTORS", config.num_actors);
-  config.episodes = EnvInt("DPDP_TRAIN_EPISODES", config.episodes);
-  config.sync_every = EnvInt("DPDP_TRAIN_SYNC_EVERY", config.sync_every);
+  config.num_actors =
+      EnvIntStrict("DPDP_TRAIN_ACTORS", config.num_actors, 1, 256);
+  config.episodes =
+      EnvIntStrict("DPDP_TRAIN_EPISODES", config.episodes, 1, 1000000);
+  config.sync_every =
+      EnvIntStrict("DPDP_TRAIN_SYNC_EVERY", config.sync_every, 1, 1000000);
   config.deterministic =
-      EnvInt("DPDP_TRAIN_DETERMINISTIC", config.deterministic ? 1 : 0) != 0;
+      EnvBoolStrict("DPDP_TRAIN_DETERMINISTIC", config.deterministic);
   config.replay_shards =
-      EnvInt("DPDP_TRAIN_REPLAY_SHARDS", config.replay_shards);
-  config.shard_capacity =
-      EnvInt("DPDP_TRAIN_SHARD_CAP", config.shard_capacity);
-  config.min_replay = EnvInt("DPDP_TRAIN_MIN_REPLAY", config.min_replay);
+      EnvIntStrict("DPDP_TRAIN_REPLAY_SHARDS", config.replay_shards, 1, 1024);
+  config.shard_capacity = EnvIntStrict("DPDP_TRAIN_SHARD_CAP",
+                                       config.shard_capacity, 1, 100000000);
+  config.min_replay =
+      EnvIntStrict("DPDP_TRAIN_MIN_REPLAY", config.min_replay, 0, 100000000);
   config.updates_per_generation =
-      EnvInt("DPDP_TRAIN_UPDATES_PER_SYNC", config.updates_per_generation);
+      EnvIntStrict("DPDP_TRAIN_UPDATES_PER_SYNC",
+                   config.updates_per_generation, 0, 1000000);
   config.target_sync_updates =
-      EnvInt("DPDP_TRAIN_TARGET_SYNC_UPDATES", config.target_sync_updates);
-  config.checkpoint_every =
-      EnvInt("DPDP_TRAIN_CHECKPOINT_EVERY", config.checkpoint_every);
+      EnvIntStrict("DPDP_TRAIN_TARGET_SYNC_UPDATES",
+                   config.target_sync_updates, 1, 1000000);
+  config.checkpoint_every = EnvIntStrict(
+      "DPDP_TRAIN_CHECKPOINT_EVERY", config.checkpoint_every, 0, 1000000);
   // The generic DPDP_CHECKPOINT_DIR is honoured as the fallback so one
   // directory can feed both the trainer and a serving watcher.
   config.checkpoint_dir = EnvStr(
       "DPDP_TRAIN_CHECKPOINT_DIR", EnvStr("DPDP_CHECKPOINT_DIR", ""));
   config.resume_from = EnvStr("DPDP_TRAIN_RESUME_FROM", "");
-  config.explore_seed_base = static_cast<uint64_t>(
-      EnvInt("DPDP_TRAIN_SEED", static_cast<int>(config.explore_seed_base)));
-  config.serve_shards = EnvInt("DPDP_TRAIN_SERVE_SHARDS", config.serve_shards);
+  config.explore_seed_base =
+      EnvU64Strict("DPDP_TRAIN_SEED", config.explore_seed_base);
+  config.serve_shards =
+      EnvIntStrict("DPDP_TRAIN_SERVE_SHARDS", config.serve_shards, 1, 256);
   config.serve = serve::ServeConfigFromEnv();
   return config;
 }

@@ -1,6 +1,7 @@
 #ifndef DPDP_UTIL_ENV_H_
 #define DPDP_UTIL_ENV_H_
 
+#include <cstdint>
 #include <string>
 
 namespace dpdp {
@@ -10,6 +11,22 @@ namespace dpdp {
 /// the runtime itself honours DPDP_THREADS and DPDP_PARALLEL_BATCH).
 int EnvInt(const char* name, int fallback);
 double EnvDouble(const char* name, double fallback);
+
+/// Strict variants used by the FromEnv config layers (TrainOptions,
+/// ApexConfig, ServeConfig, Scenario). The whole value must parse as the
+/// requested type and fall inside [min_value, max_value]; anything else
+/// aborts with a DPDP_CHECK diagnostic naming the variable, the rejected
+/// text, and the accepted range — a typo'd knob must never silently run
+/// with atoi's best-effort 0. Unset or empty variables fall back (the
+/// fallback itself is trusted, not range-checked).
+int EnvIntStrict(const char* name, int fallback, int min_value, int max_value);
+int64_t EnvInt64Strict(const char* name, int64_t fallback, int64_t min_value,
+                       int64_t max_value);
+uint64_t EnvU64Strict(const char* name, uint64_t fallback);
+double EnvDoubleStrict(const char* name, double fallback, double min_value,
+                       double max_value);
+/// Accepts 0/1/true/false/yes/no/on/off, case-insensitive.
+bool EnvBoolStrict(const char* name, bool fallback);
 
 /// Reads a string from the environment (e.g. DPDP_CHECKPOINT_DIR, the
 /// default checkpoint directory of the trainer). Empty values fall back.

@@ -95,11 +95,13 @@ inline Instance MakeTestInstance(std::vector<Order> orders,
 inline ::testing::AssertionResult CheckRouteFeasible(
     const Instance& inst, int vehicle, const std::vector<Stop>& route) {
   const RoadNetwork& net = *inst.network;
-  const VehicleConfig& cfg = inst.vehicle_config;
   if (vehicle < 0 || vehicle >= static_cast<int>(inst.vehicle_depots.size())) {
     return ::testing::AssertionFailure()
            << "vehicle index " << vehicle << " out of range";
   }
+  // Heterogeneous-fleet aware: this vehicle's own class config (the shared
+  // config when the instance has no profiles).
+  const VehicleConfig& cfg = inst.vehicle_config_of(vehicle);
   const int depot = inst.vehicle_depots[vehicle];
   constexpr double kTol = 1e-9;
 
@@ -173,7 +175,9 @@ inline ::testing::AssertionResult CheckRouteFeasible(
       lifo_stack.pop_back();
       load -= order.quantity;
     }
-    time = service_start + cfg.service_time_min;
+    // Docking-constrained nodes charge their surcharge on every service.
+    time = service_start + cfg.service_time_min +
+           inst.service_surcharge_at(stop.node);
   }
 
   if (!lifo_stack.empty()) {
